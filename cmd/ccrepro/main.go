@@ -1,0 +1,128 @@
+// Command ccrepro regenerates the paper's tables and figures on the
+// simulated machine and writes the series as CSV files for plotting.
+//
+// Usage:
+//
+//	ccrepro [-fig all|2,3,6,8,...] [-out out/] [-scale 100] [-seed 1]
+//	        [-messages 32] [-quanta 64]
+//
+// Figure ids: 2 3 4 5 6 7 8 10 11 12 13 14 and "t1" for Table I.
+// -scale 1 runs at full paper scale (slow); the default 100× preserves
+// every quantity the detector depends on (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cchunter/internal/experiments"
+	"cchunter/internal/trace"
+)
+
+func main() {
+	figs := flag.String("fig", "all", "comma-separated figure ids (2..14, t1, m=mitigation, e=evasion) or 'all'")
+	outDir := flag.String("out", "out", "directory for CSV output")
+	scale := flag.Float64("scale", 100, "time scale (1 = full paper scale)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	messages := flag.Int("messages", 32, "messages for Figure 12 (paper: 256)")
+	quanta := flag.Int("quanta", 64, "observation quanta for Figure 14 (paper: 512)")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, TimeScale: *scale}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	want := map[string]bool{}
+	if *figs == "all" {
+		for _, f := range []string{"2", "3", "4", "5", "6", "7", "8", "10", "11", "12", "13", "14", "t1", "m", "e"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	type step struct {
+		id  string
+		run func() (summary string, result interface{})
+	}
+	steps := []step{
+		{"2", func() (string, interface{}) { r := experiments.Figure2(opts); return r.Summary(), r }},
+		{"3", func() (string, interface{}) { r := experiments.Figure3(opts); return r.Summary(), r }},
+		{"4", func() (string, interface{}) {
+			r := experiments.Figure4(opts)
+			writeTrain(*outDir, "fig4a_buslocks.csv", r.BusLocks)
+			writeTrain(*outDir, "fig4b_divcontention.csv", r.DivContention)
+			return r.Summary(), r
+		}},
+		{"5", func() (string, interface{}) { r := experiments.Figure5(opts); return r.Summary(), r }},
+		{"6", func() (string, interface{}) { r := experiments.Figure6(opts); return r.Summary(), r }},
+		{"7", func() (string, interface{}) { r := experiments.Figure7(opts); return r.Summary(), r }},
+		{"8", func() (string, interface{}) {
+			r := experiments.Figure8(opts)
+			writeTrain(*outDir, "fig8a_conflicts.csv", r.Train)
+			return r.Summary(), r
+		}},
+		{"10", func() (string, interface{}) { r := experiments.Figure10(opts); return r.Summary(), r }},
+		{"11", func() (string, interface{}) { r := experiments.Figure11(opts); return r.Summary(), r }},
+		{"12", func() (string, interface{}) {
+			r := experiments.Figure12(opts, *messages)
+			return r.Summary(), r
+		}},
+		{"13", func() (string, interface{}) { r := experiments.Figure13(opts); return r.Summary(), r }},
+		{"14", func() (string, interface{}) {
+			r := experiments.Figure14(opts, *quanta)
+			return r.Summary(), r
+		}},
+		{"t1", func() (string, interface{}) { r := experiments.TableI(); return r.Summary(), r }},
+		{"m", func() (string, interface{}) { r := experiments.ExtMitigation(opts); return r.Summary(), r }},
+		{"e", func() (string, interface{}) { r := experiments.ExtEvasion(opts); return r.Summary(), r }},
+	}
+
+	for _, s := range steps {
+		if !want[s.id] {
+			continue
+		}
+		summary, result := s.run()
+		fmt.Println(summary)
+		fmt.Println()
+		writeCSVs(*outDir, s.id, result)
+	}
+}
+
+func writeCSVs(dir, id string, result interface{}) {
+	for _, s := range experiments.SeriesForCSV(id, result) {
+		path := filepath.Join(dir, s.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteSeriesCSV(f, s.X, s.Y, s.Data); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeTrain(dir, name string, t *trace.Train) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccrepro:", err)
+	os.Exit(1)
+}

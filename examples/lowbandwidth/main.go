@@ -1,0 +1,24 @@
+// Low-bandwidth stealth: a cache covert channel throttled to the
+// paper's 0.1 bps regime, hiding among active tenants. With the
+// paper's original pair-identifier series, a full-quantum analysis
+// loses the periodicity in the noise; the finer observation windows of
+// §VI-A recover it — the Figure 11 result. (This library's default
+// detector uses a noise-robust couple projection and catches the
+// channel even at full windows; see DESIGN.md §6.)
+//
+//	go run ./examples/lowbandwidth
+package main
+
+import (
+	"fmt"
+
+	"cchunter/internal/experiments"
+)
+
+func main() {
+	r := experiments.Figure11(experiments.Options{Seed: 1, TimeScale: 100})
+	fmt.Println(r.Summary())
+	fmt.Println()
+	fmt.Println("the 0.25x-quantum windows isolate the covert burst from the")
+	fmt.Println("surrounding tenant noise, as the paper's sensitivity study shows")
+}

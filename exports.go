@@ -1,0 +1,68 @@
+package cchunter
+
+import (
+	"cchunter/internal/auditor"
+	"cchunter/internal/core"
+	"cchunter/internal/stats"
+	"cchunter/internal/trace"
+)
+
+// Aliases re-exporting the analysis and data types that Scenario
+// results are made of, so that users of the public API can name them
+// without reaching into internal packages.
+type (
+	// Report is a full CC-Hunter analysis: one verdict per monitored
+	// resource plus the overall detection decision.
+	Report = core.Report
+	// BurstAnalysis is the recurrent-burst detection outcome for one
+	// combinational unit (memory bus, integer divider).
+	BurstAnalysis = core.BurstAnalysis
+	// OscillationAnalysis is the autocorrelation-based detection
+	// outcome for the shared cache.
+	OscillationAnalysis = core.OscillationAnalysis
+	// ContentionVerdict pairs an indicator event kind with its burst
+	// analysis.
+	ContentionVerdict = core.ContentionVerdict
+	// OscillationVerdict aggregates per-window oscillation analyses.
+	OscillationVerdict = core.OscillationVerdict
+	// BurstConfig tunes recurrent-burst detection.
+	BurstConfig = core.BurstConfig
+	// OscillationConfig tunes oscillation detection.
+	OscillationConfig = core.OscillationConfig
+	// Histogram is an event-density histogram.
+	Histogram = stats.Histogram
+	// QuantumHistogram is one OS-quantum's density histogram.
+	QuantumHistogram = auditor.QuantumHistogram
+	// CostModel holds the CC-Auditor hardware cost estimates
+	// (Table I).
+	CostModel = auditor.CostModel
+	// Cost is one hardware structure's area/power/latency estimate.
+	Cost = auditor.Cost
+	// Train is a hardware event train.
+	Train = trace.Train
+	// Event is a single indicator-event occurrence.
+	Event = trace.Event
+	// EventKind identifies an indicator event.
+	EventKind = trace.Kind
+	// Peak is a local maximum in an autocorrelogram.
+	Peak = stats.Peak
+)
+
+// Indicator event kinds.
+const (
+	EventBusLock       = trace.KindBusLock
+	EventDivContention = trace.KindDivContention
+	EventConflictMiss  = trace.KindConflictMiss
+)
+
+// Paper-calibrated observation windows.
+const (
+	DeltaTBus     = core.DeltaTBus
+	DeltaTDivider = core.DeltaTDivider
+)
+
+// EstimateAuditorCost computes the CC-Auditor hardware cost model
+// (Table I) for the paper's default sizing.
+func EstimateAuditorCost() CostModel {
+	return auditor.EstimateCost(auditor.DefaultSizing())
+}

@@ -1,0 +1,3 @@
+module cchunter
+
+go 1.22

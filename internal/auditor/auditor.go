@@ -1,0 +1,267 @@
+// Package auditor models the CC-Auditor hardware of §V-A: the
+// microarchitectural monitoring block that CC-Hunter adds to the chip.
+//
+// The auditor can monitor up to two hardware units at a time for
+// contention events (the paper's deliberate cost/coverage trade-off).
+// For each monitored unit it keeps a 32-bit countdown register loaded
+// with Δt, a 16-bit accumulator counting event occurrences within the
+// current Δt window, and a 128-entry × 16-bit histogram buffer that
+// the software daemon records and clears at every OS time quantum.
+//
+// For cache conflict misses it keeps two alternating 128-byte vector
+// registers recording the 3-bit context IDs of the replacer and the
+// victim of every conflict miss; while one register fills, the
+// software daemon drains the other.
+//
+// Programming the auditor models the paper's privileged instruction:
+// it requires a privileged handle, as the OS would enforce through its
+// authorization checks (§V-B).
+package auditor
+
+import (
+	"errors"
+	"fmt"
+
+	"cchunter/internal/stats"
+	"cchunter/internal/trace"
+)
+
+// Config sizes the auditor hardware.
+type Config struct {
+	// HistogramBins is the depth of each histogram buffer (paper:
+	// 128 entries).
+	HistogramBins int
+	// VectorBytes is the size of each conflict-miss vector register
+	// (paper: 128 bytes, one byte per recorded miss).
+	VectorBytes int
+	// QuantumCycles is the OS time quantum at which the software
+	// daemon records and clears the buffers.
+	QuantumCycles uint64
+	// Privileged marks the creating principal as authorized to program
+	// the auditor. The paper routes this through a privileged
+	// instruction plus an OS authorization check.
+	Privileged bool
+}
+
+// DefaultConfig returns the paper's hardware sizing.
+func DefaultConfig(quantum uint64) Config {
+	return Config{
+		HistogramBins: 128,
+		VectorBytes:   128,
+		QuantumCycles: quantum,
+		Privileged:    true,
+	}
+}
+
+// MaxMonitoredUnits is how many hardware units the auditor can watch
+// simultaneously (§V-A: "up to two different hardware units at any
+// given time").
+const MaxMonitoredUnits = 2
+
+// ErrNotPrivileged is returned when an unprivileged principal tries to
+// program the auditor.
+var ErrNotPrivileged = errors.New("auditor: programming requires privilege")
+
+// QuantumHistogram is one monitored unit's event-density histogram for
+// one OS time quantum, as recorded by the software daemon.
+type QuantumHistogram struct {
+	// Quantum is the quantum index (Start = Quantum × QuantumCycles).
+	Quantum uint64
+	// Hist is the density histogram: bin i counts Δt windows holding i
+	// events (the top bin clamps, as a saturating 7-bit density
+	// encoder would).
+	Hist *stats.Histogram
+}
+
+// slot is one monitored unit's counting hardware.
+type slot struct {
+	kind        trace.Kind
+	deltaT      uint64
+	accum       uint16
+	windowStart uint64
+	quantum     uint64
+	hist        *stats.Histogram
+	records     []QuantumHistogram
+	bins        int
+	quantumLen  uint64
+}
+
+func newSlot(kind trace.Kind, deltaT uint64, bins int, quantumLen uint64) *slot {
+	return &slot{
+		kind:       kind,
+		deltaT:     deltaT,
+		bins:       bins,
+		quantumLen: quantumLen,
+		hist:       stats.NewHistogram(bins),
+	}
+}
+
+// advance closes out all Δt windows and quanta strictly before cycle.
+func (s *slot) advance(cycle uint64) {
+	for cycle >= s.windowStart+s.deltaT {
+		s.closeWindow()
+	}
+}
+
+// closeWindow flushes the accumulator into the histogram and starts
+// the next Δt window, also rolling the quantum when crossed.
+func (s *slot) closeWindow() {
+	s.hist.Add(int(s.accum))
+	s.accum = 0
+	s.windowStart += s.deltaT
+	if s.windowStart >= (s.quantum+1)*s.quantumLen {
+		s.records = append(s.records, QuantumHistogram{Quantum: s.quantum, Hist: s.hist})
+		s.hist = stats.NewHistogram(s.bins)
+		s.quantum = s.windowStart / s.quantumLen
+	}
+}
+
+func (s *slot) onEvent(cycle uint64) {
+	s.advance(cycle)
+	if s.accum < ^uint16(0) {
+		s.accum++
+	}
+}
+
+// Auditor is the CC-Auditor hardware instance. It implements
+// trace.Listener; wire it into the simulator with System.AddListener.
+type Auditor struct {
+	cfg   Config
+	slots []*slot
+	osc   *oscillator
+}
+
+// New builds an auditor.
+func New(cfg Config) *Auditor {
+	if cfg.HistogramBins <= 0 {
+		cfg.HistogramBins = 128
+	}
+	if cfg.VectorBytes <= 0 {
+		cfg.VectorBytes = 128
+	}
+	if cfg.QuantumCycles == 0 {
+		panic("auditor: quantum must be positive")
+	}
+	return &Auditor{cfg: cfg}
+}
+
+// Monitor programs the auditor to watch the given indicator event with
+// observation window deltaT, occupying one of the two monitoring
+// slots. It models the paper's privileged CC-auditor instruction.
+func (a *Auditor) Monitor(kind trace.Kind, deltaT uint64) error {
+	if !a.cfg.Privileged {
+		return ErrNotPrivileged
+	}
+	if deltaT == 0 {
+		return errors.New("auditor: deltaT must be positive")
+	}
+	if kind == trace.KindConflictMiss {
+		return errors.New("auditor: conflict misses use MonitorConflicts")
+	}
+	if len(a.slots) >= MaxMonitoredUnits {
+		return fmt.Errorf("auditor: all %d monitoring slots in use", MaxMonitoredUnits)
+	}
+	for _, s := range a.slots {
+		if s.kind == kind {
+			return fmt.Errorf("auditor: %v already monitored", kind)
+		}
+	}
+	a.slots = append(a.slots, newSlot(kind, deltaT, a.cfg.HistogramBins, a.cfg.QuantumCycles))
+	return nil
+}
+
+// MonitorConflicts enables the conflict-miss vector registers.
+func (a *Auditor) MonitorConflicts() error {
+	if !a.cfg.Privileged {
+		return ErrNotPrivileged
+	}
+	if a.osc != nil {
+		return errors.New("auditor: conflict monitoring already enabled")
+	}
+	a.osc = newOscillator(a.cfg.VectorBytes, a.cfg.QuantumCycles)
+	return nil
+}
+
+// OnEvent implements trace.Listener.
+func (a *Auditor) OnEvent(e trace.Event) {
+	for _, s := range a.slots {
+		if s.kind == e.Kind {
+			s.onEvent(e.Cycle)
+		}
+	}
+	if a.osc != nil && e.Kind == trace.KindConflictMiss {
+		a.osc.onEvent(e)
+	}
+}
+
+// Flush closes out all Δt windows and quanta up to the given cycle;
+// call it after the simulation run so trailing quiet quanta are
+// recorded (hardware-wise, the daemon's final read).
+func (a *Auditor) Flush(cycle uint64) {
+	for _, s := range a.slots {
+		s.advance(cycle)
+	}
+	if a.osc != nil {
+		a.osc.flush()
+	}
+}
+
+// Histograms returns the per-quantum density histograms recorded for a
+// monitored event kind. The returned slice is shared; treat it as
+// read-only.
+func (a *Auditor) Histograms(kind trace.Kind) []QuantumHistogram {
+	for _, s := range a.slots {
+		if s.kind == kind {
+			return s.records
+		}
+	}
+	return nil
+}
+
+// MergedHistogram returns the union of all per-quantum histograms for
+// kind — the full-run event density histogram of Figure 6.
+func (a *Auditor) MergedHistogram(kind trace.Kind) *stats.Histogram {
+	var out *stats.Histogram
+	for _, s := range a.slots {
+		if s.kind != kind {
+			continue
+		}
+		out = stats.NewHistogram(s.bins)
+		for _, rec := range s.records {
+			out.Merge(rec.Hist)
+		}
+		// Include the still-open quantum.
+		out.Merge(s.hist)
+	}
+	return out
+}
+
+// DeltaT returns the programmed observation window for kind (0 when
+// not monitored).
+func (a *Auditor) DeltaT(kind trace.Kind) uint64 {
+	for _, s := range a.slots {
+		if s.kind == kind {
+			return s.deltaT
+		}
+	}
+	return 0
+}
+
+// ConflictTrain returns the recorded conflict-miss train (drained
+// vector-register contents, in order). Nil when conflict monitoring is
+// not enabled.
+func (a *Auditor) ConflictTrain() *trace.Train {
+	if a.osc == nil {
+		return nil
+	}
+	return a.osc.train
+}
+
+// DroppedConflicts reports conflict misses lost because both vector
+// registers were full before the daemon drained them.
+func (a *Auditor) DroppedConflicts() uint64 {
+	if a.osc == nil {
+		return 0
+	}
+	return a.osc.dropped
+}

@@ -1,0 +1,70 @@
+package auditor
+
+import "cchunter/internal/trace"
+
+// oscillator models the conflict-miss capture path: two alternating
+// 128-byte vector registers that record, for every conflict miss, the
+// 3-bit context IDs of the replacer and the victim (§V-A). While one
+// register fills, the software daemon drains the other in the
+// background. The paper sizes the registers so the daemon always keeps
+// up; the model preserves that property, so the swap reduces to
+// draining the full register into the software-side train (a dropped
+// counter is kept for fidelity, and stays zero under this sizing).
+//
+// Consecutive conflict misses in the same cache set with the same
+// (replacer, victim) pair collapse into a single recorded entry: an
+// 8-way fill of one set by one replacer carries one unit of signal,
+// and deduplicating in hardware is a single comparator against the
+// last recorded entry. This is what aligns the oscillation period with
+// the *number of cache sets* used by a covert channel, the quantity
+// the paper reads off the autocorrelogram peak lag (Figure 8b: "a lag
+// value of 533 ... very close to the actual number of conflicting sets
+// in the shared cache, 512").
+type oscillator struct {
+	capacity int // entries per vector register (one byte each)
+	active   []trace.Event
+	train    *trace.Train
+	swaps    uint64
+	dropped  uint64
+
+	havePrev bool
+	prevSet  uint32
+	prevA    uint8
+	prevV    uint8
+}
+
+func newOscillator(vectorBytes int, _ uint64) *oscillator {
+	return &oscillator{
+		capacity: vectorBytes,
+		active:   make([]trace.Event, 0, vectorBytes),
+		train:    trace.NewTrain(4096),
+	}
+}
+
+func (o *oscillator) onEvent(e trace.Event) {
+	if o.havePrev && e.Unit == o.prevSet && e.Actor == o.prevA && e.Victim == o.prevV {
+		return // same-set same-pair run: hardware dedup
+	}
+	o.havePrev = true
+	o.prevSet, o.prevA, o.prevV = e.Unit, e.Actor, e.Victim
+	if len(o.active) >= o.capacity {
+		o.swaps++
+		o.drainActive()
+	}
+	o.active = append(o.active, e)
+}
+
+// drainActive moves the full register's contents into the software-
+// side train (the daemon's background copy).
+func (o *oscillator) drainActive() {
+	for _, e := range o.active {
+		o.train.Append(e)
+	}
+	o.active = o.active[:0]
+}
+
+// flush empties the registers into the train (end of run).
+func (o *oscillator) flush() {
+	o.drainActive()
+	o.havePrev = false
+}

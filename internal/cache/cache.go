@@ -1,0 +1,252 @@
+// Package cache implements the set-associative cache models used by
+// the simulator: private L1s and the per-core L2 shared between
+// hyperthreads that the paper's third covert channel exploits (§IV-C,
+// after Xu et al.). Each cache block tracks its owner hardware context,
+// which is what lets the conflict-miss tracker label replacements with
+// (replacer → victim) pairs.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the block size; must be a power of two.
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+	// HitLatency is the access latency in cycles when the block is
+	// resident at this level.
+	HitLatency uint64
+}
+
+// DefaultL1 models the paper's private 32 KB L1 (8-way, 64 B lines).
+func DefaultL1() Config {
+	return Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, HitLatency: 4}
+}
+
+// DefaultL2 models the paper's 256 KB L2 (8-way, 64 B lines, 512
+// sets), shared between the two hyperthreads of a core as on Nehalem.
+func DefaultL2() Config {
+	return Config{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8, HitLatency: 12}
+}
+
+type line struct {
+	tag     uint64 // full line address (addr >> lineShift)
+	owner   uint8
+	valid   bool
+	lastUse uint64 // LRU sequence number
+}
+
+// Cache is a single set-associative cache with true-LRU replacement.
+// It is not safe for concurrent use; the simulation engine serializes
+// all accesses in global time order.
+type Cache struct {
+	cfg       Config
+	nsets     int
+	lineShift uint
+	setMask   uint64
+	sets      [][]line
+	seq       uint64
+
+	hits, misses, evictions uint64
+}
+
+// New builds a cache from cfg. It panics on an inconsistent geometry;
+// configurations are wired by code, not user input, so a bad one is a
+// programming error.
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d not a power of two", cfg.LineBytes))
+	}
+	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic("cache: size and ways must be positive")
+	}
+	blocks := cfg.SizeBytes / cfg.LineBytes
+	if blocks%cfg.Ways != 0 {
+		panic("cache: capacity not divisible into ways")
+	}
+	nsets := blocks / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d sets is not a power of two", nsets))
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, blocks)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{
+		cfg:       cfg,
+		nsets:     nsets,
+		lineShift: shift,
+		setMask:   uint64(nsets - 1),
+		sets:      sets,
+	}
+}
+
+// Result describes the effect of one access.
+type Result struct {
+	// Hit reports whether the block was resident.
+	Hit bool
+	// Set is the set index the address maps to.
+	Set uint32
+	// LineAddr is the full line address (addr >> log2(LineBytes)).
+	LineAddr uint64
+	// Evicted reports whether installing the block displaced a valid
+	// block.
+	Evicted bool
+	// EvictedLine is the displaced block's line address.
+	EvictedLine uint64
+	// EvictedOwner is the hardware context that owned the displaced
+	// block.
+	EvictedOwner uint8
+}
+
+// Access looks up addr for hardware context ctx, installing the block
+// (and evicting the LRU victim) on a miss. The owner of the block is
+// updated to ctx on every access, matching the paper's "current owner
+// context in the cache block metadata".
+func (c *Cache) Access(addr uint64, ctx uint8) Result {
+	return c.AccessInWays(addr, ctx, 0, c.cfg.Ways)
+}
+
+// AccessInWays is Access with allocation restricted to ways [lo, hi) —
+// the hook used by way-partitioning mitigation (Wang & Lee's
+// Partition-Locking idea). Hits are honored in any way (data is data),
+// but on a miss the victim is chosen only inside the context's
+// partition, so one partition can never evict another's blocks.
+func (c *Cache) AccessInWays(addr uint64, ctx uint8, lo, hi int) Result {
+	if lo < 0 || hi > c.cfg.Ways || lo >= hi {
+		panic(fmt.Sprintf("cache: bad way range [%d, %d) of %d", lo, hi, c.cfg.Ways))
+	}
+	lineAddr := addr >> c.lineShift
+	set := lineAddr & c.setMask
+	ways := c.sets[set]
+	c.seq++
+	res := Result{Set: uint32(set), LineAddr: lineAddr}
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == lineAddr {
+			ways[i].lastUse = c.seq
+			ways[i].owner = ctx
+			res.Hit = true
+			c.hits++
+			return res
+		}
+	}
+	c.misses++
+	// Miss: find an invalid way in range, else the LRU way in range.
+	victim := -1
+	for i := lo; i < hi; i++ {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = lo
+		for i := lo + 1; i < hi; i++ {
+			if ways[i].lastUse < ways[victim].lastUse {
+				victim = i
+			}
+		}
+		res.Evicted = true
+		res.EvictedLine = ways[victim].tag
+		res.EvictedOwner = ways[victim].owner
+		c.evictions++
+	}
+	ways[victim] = line{tag: lineAddr, owner: ctx, valid: true, lastUse: c.seq}
+	return res
+}
+
+// InvalidateLine removes the block with the given line address (the
+// Result.LineAddr / EvictedLine coordinate space) and reports whether
+// it was resident. The simulator uses it for inclusive-hierarchy
+// back-invalidation: when the shared L2 evicts a block, every L1 copy
+// dies with it, as on real inclusive last-level caches — without this,
+// stale private-cache copies would hide exactly the misses the covert
+// channel and its detector both live on.
+func (c *Cache) InvalidateLine(lineAddr uint64) bool {
+	ways := c.sets[lineAddr&c.setMask]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == lineAddr {
+			ways[i] = line{}
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether addr is resident, without touching LRU
+// state. Intended for tests and assertions.
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr >> c.lineShift
+	for _, l := range c.sets[lineAddr&c.setMask] {
+		if l.valid && l.tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Owner returns the owning context of addr's block and whether it is
+// resident.
+func (c *Cache) Owner(addr uint64) (uint8, bool) {
+	lineAddr := addr >> c.lineShift
+	for _, l := range c.sets[lineAddr&c.setMask] {
+		if l.valid && l.tag == lineAddr {
+			return l.owner, true
+		}
+	}
+	return 0, false
+}
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.nsets }
+
+// NumBlocks returns the total number of blocks.
+func (c *Cache) NumBlocks() int { return c.nsets * c.cfg.Ways }
+
+// LineBytes returns the block size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// HitLatency returns the configured hit latency.
+func (c *Cache) HitLatency() uint64 { return c.cfg.HitLatency }
+
+// SetOfAddr returns the set index addr maps to.
+func (c *Cache) SetOfAddr(addr uint64) uint32 {
+	return uint32((addr >> c.lineShift) & c.setMask)
+}
+
+// AddrForSet builds an address that maps to the given set, with `way`
+// selecting distinct conflicting line addresses within that set and
+// base providing an address-space offset (e.g. a per-process tag).
+// It is the inverse of SetOfAddr used by channel and workload code to
+// construct eviction sets.
+func (c *Cache) AddrForSet(set uint32, way int, base uint64) uint64 {
+	if int(set) >= c.nsets {
+		panic(fmt.Sprintf("cache: set %d out of range (%d sets)", set, c.nsets))
+	}
+	// Line address layout: [ base | way | set ]: the way bits sit just
+	// above the set bits, so different ways collide in the same set
+	// while different bases never alias.
+	la := (base<<24|uint64(way))*uint64(c.nsets) + uint64(set)
+	return la << c.lineShift
+}
+
+// Stats reports cumulative cache activity.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}

@@ -1,0 +1,155 @@
+package channels
+
+import (
+	"cchunter/internal/sim"
+	"cchunter/internal/stats"
+)
+
+// BusConfig configures the memory bus covert channel.
+type BusConfig struct {
+	Protocol
+	// LockSpacing is the cycle distance between consecutive atomic
+	// unaligned accesses during a '1' burst. With the default bus
+	// lock occupancy this keeps the bus contended for roughly half of
+	// the burst, and puts ~20 lock events into each Δt = 100k-cycle
+	// window — the paper's Figure 6a burst bin.
+	LockSpacing uint64
+	// MaxBurstCycles caps the burst length within a bit slot: at low
+	// bandwidths the trojan transmits its conflicts early in the slot
+	// and stays dormant for the rest ("a certain number of conflicts
+	// ... frequently followed by longer periods of dormancy", §VI-A).
+	MaxBurstCycles uint64
+	// SamplesPerBit is how many latency samples the spy averages per
+	// bit.
+	SamplesPerBit int
+	// DecisionLatency is the spy's per-sample latency threshold
+	// separating contended from uncontended bus state.
+	DecisionLatency uint64
+	// EvasionNoise is the probability that the trojan camouflages a
+	// '0' slot with a burst of random intensity — the §III evasion
+	// strategy of "artificially inflating the patterns of random
+	// conflicts". The paper's point, reproduced by the evasion
+	// experiment: the spy cannot tell camouflage from signal, so
+	// reliability collapses long before detection does.
+	EvasionNoise float64
+}
+
+// DefaultBusConfig returns a paper-shaped bus channel carrying message
+// bits at bps bits per second.
+func DefaultBusConfig(message []int, bps float64) BusConfig {
+	return BusConfig{
+		Protocol:        Protocol{Message: message, BPS: bps, Start: 0, Seed: 1},
+		LockSpacing:     5_000,
+		MaxBurstCycles:  1_000_000,
+		SamplesPerBit:   20,
+		DecisionLatency: 600,
+	}
+}
+
+// BusTrojan transmits the message by modulating memory bus contention.
+type BusTrojan struct {
+	cfg BusConfig
+}
+
+// NewBusTrojan builds the transmitter.
+func NewBusTrojan(cfg BusConfig) *BusTrojan {
+	cfg.Protocol.validate()
+	if cfg.LockSpacing == 0 || cfg.MaxBurstCycles == 0 {
+		panic("channels: bus trojan needs LockSpacing and MaxBurstCycles")
+	}
+	return &BusTrojan{cfg: cfg}
+}
+
+// Name implements sim.Program.
+func (t *BusTrojan) Name() string { return "bus-trojan" }
+
+// Run implements sim.Program.
+func (t *BusTrojan) Run(m *sim.Machine) {
+	geo := m.Geometry()
+	rng := stats.NewRNG(t.cfg.Seed ^ 0xe7a510)
+	slot := t.cfg.slotCycles(geo)
+	burst := minU64(slot, t.cfg.MaxBurstCycles)
+	for i := 0; ; i++ {
+		bit, done := t.cfg.bitAt(i)
+		if done {
+			return
+		}
+		start := t.cfg.Start + uint64(i)*slot
+		m.WaitUntil(start)
+		spacing := t.cfg.LockSpacing
+		if bit == 0 {
+			if t.cfg.EvasionNoise <= 0 || rng.Float64() >= t.cfg.EvasionNoise {
+				continue // un-contended bus signals '0'
+			}
+			// Camouflage: a burst of random (lower) intensity.
+			spacing *= uint64(1 + rng.Intn(3))
+		}
+		for k := uint64(0); k*spacing < burst; k++ {
+			m.WaitUntil(start + k*spacing)
+			m.AtomicUnaligned(0)
+		}
+	}
+}
+
+// BusSpy decodes the message from memory access latencies.
+type BusSpy struct {
+	cfg     BusConfig
+	decoded []int
+	// perBitLatency records the spy's average memory latency for each
+	// bit — the series of Figure 2.
+	perBitLatency []float64
+}
+
+// NewBusSpy builds the receiver.
+func NewBusSpy(cfg BusConfig) *BusSpy {
+	cfg.Protocol.validate()
+	if cfg.SamplesPerBit <= 0 {
+		panic("channels: bus spy needs SamplesPerBit")
+	}
+	return &BusSpy{cfg: cfg}
+}
+
+// Name implements sim.Program.
+func (s *BusSpy) Name() string { return "bus-spy" }
+
+// Run implements sim.Program.
+func (s *BusSpy) Run(m *sim.Machine) {
+	geo := m.Geometry()
+	slot := s.cfg.slotCycles(geo)
+	burst := minU64(slot, s.cfg.MaxBurstCycles)
+	spacing := burst / uint64(s.cfg.SamplesPerBit)
+	if spacing == 0 {
+		spacing = 1
+	}
+	probe := uint64(0)
+	for i := 0; ; i++ {
+		if _, done := s.cfg.bitAt(i); done {
+			return
+		}
+		start := s.cfg.Start + uint64(i)*slot
+		var total uint64
+		for k := 0; k < s.cfg.SamplesPerBit; k++ {
+			// Sample a third of the way into each spacing interval so
+			// the probes never alias onto the trojan's lock grid.
+			m.WaitUntil(start + uint64(k)*spacing + spacing/3)
+			// A fresh line address misses the whole hierarchy, so the
+			// load's latency exposes the bus state.
+			probe++
+			total += m.Load(m.PrivateAddr(1<<30 + probe))
+		}
+		avg := total / uint64(s.cfg.SamplesPerBit)
+		s.perBitLatency = append(s.perBitLatency, float64(avg))
+		if avg > s.cfg.DecisionLatency {
+			s.decoded = append(s.decoded, 1)
+		} else {
+			s.decoded = append(s.decoded, 0)
+		}
+	}
+}
+
+// Decoded returns the bits the spy inferred so far.
+func (s *BusSpy) Decoded() []int { return s.decoded }
+
+// PerBitLatency returns the spy's average memory latency per bit slot
+// (in cycles) — the observable plotted in Figure 2.
+func (s *BusSpy) PerBitLatency() []float64 { return s.perBitLatency }

@@ -1,0 +1,188 @@
+package channels
+
+import (
+	"cchunter/internal/sim"
+	"cchunter/internal/stats"
+)
+
+// CacheConfig configures the shared-L2 covert channel (Xu et al.).
+// Trojan and spy must share an L2, i.e. run as hyperthreads of one
+// core in the default machine.
+type CacheConfig struct {
+	Protocol
+	// SetsUsed is the total number of cache sets carrying the channel,
+	// split evenly between G1 and G0 ("a total of 512 cache sets were
+	// used in G1 and G0"). It must leave most of the cache untouched
+	// or the channel's evictions stop being premature (see DESIGN.md).
+	SetsUsed int
+	// RoundsPerBit is how many prime/probe rounds reinforce each bit;
+	// more rounds improve reliability against noise.
+	RoundsPerBit int
+	// MaxBurstCycles caps the per-bit active phase, as for the other
+	// channels.
+	MaxBurstCycles uint64
+	// ReserveLowSets excludes the lowest-numbered cache sets from the
+	// channel. Real channels calibrate their set groups during the
+	// synchronization phase and avoid sets that are persistently hot
+	// (low sets host the hottest shared data in practice): a group
+	// that other tenants keep replacing cannot carry bits reliably.
+	ReserveLowSets int
+}
+
+// DefaultCacheConfig returns a paper-shaped cache channel: 512 sets,
+// one round per bit.
+func DefaultCacheConfig(message []int, bps float64) CacheConfig {
+	return CacheConfig{
+		Protocol:       Protocol{Message: message, BPS: bps, Start: 0, Seed: 1},
+		SetsUsed:       512,
+		RoundsPerBit:   1,
+		MaxBurstCycles: 2_500_000,
+		ReserveLowSets: 64,
+	}
+}
+
+// selectSets returns the G1 and G0 set groups. Both endpoints derive
+// them identically from the protocol seed — the paper's "dynamically
+// determined group of cache sets ... chosen during the covert channel
+// synchronization phase".
+func selectSets(cfg CacheConfig, geo sim.Geometry) (g1, g0 []uint32) {
+	usable := geo.L2Sets - cfg.ReserveLowSets
+	if cfg.SetsUsed < 2 || cfg.SetsUsed > usable {
+		panic("channels: SetsUsed out of range")
+	}
+	perm := stats.NewRNG(cfg.Seed).Perm(usable)
+	half := cfg.SetsUsed / 2
+	g1 = make([]uint32, half)
+	g0 = make([]uint32, half)
+	for i := 0; i < half; i++ {
+		g1[i] = uint32(perm[i] + cfg.ReserveLowSets)
+		g0[i] = uint32(perm[half+i] + cfg.ReserveLowSets)
+	}
+	return g1, g0
+}
+
+// roundLen returns the length of one prime/probe round in cycles.
+func (cfg CacheConfig) roundLen(slot uint64) uint64 {
+	burst := minU64(slot, cfg.MaxBurstCycles)
+	return burst / uint64(cfg.RoundsPerBit)
+}
+
+// CacheTrojan transmits by replacing the blocks of G1 (for '1') or G0
+// (for '0').
+type CacheTrojan struct {
+	cfg CacheConfig
+}
+
+// NewCacheTrojan builds the transmitter.
+func NewCacheTrojan(cfg CacheConfig) *CacheTrojan {
+	cfg.Protocol.validate()
+	if cfg.RoundsPerBit <= 0 || cfg.MaxBurstCycles == 0 {
+		panic("channels: cache trojan needs RoundsPerBit and MaxBurstCycles")
+	}
+	return &CacheTrojan{cfg: cfg}
+}
+
+// Name implements sim.Program.
+func (t *CacheTrojan) Name() string { return "cache-trojan" }
+
+// Run implements sim.Program.
+func (t *CacheTrojan) Run(m *sim.Machine) {
+	geo := m.Geometry()
+	g1, g0 := selectSets(t.cfg, geo)
+	slot := t.cfg.slotCycles(geo)
+	round := t.cfg.roundLen(slot)
+	addrs := make([]uint64, geo.L2Ways)
+	// Slot 0 is the spy's warm-up prime; transmission starts at slot 1.
+	for i := 0; ; i++ {
+		bit, done := t.cfg.bitAt(i)
+		if done {
+			return
+		}
+		start := t.cfg.Start + uint64(i+1)*slot
+		group := g1
+		if bit == 0 {
+			group = g0
+		}
+		for r := 0; r < t.cfg.RoundsPerBit; r++ {
+			m.WaitUntil(start + uint64(r)*round)
+			for _, set := range group {
+				for w := range addrs {
+					addrs[w] = m.L2AddrForSet(set, w)
+				}
+				m.LoadN(addrs)
+			}
+		}
+	}
+}
+
+// CacheSpy decodes by probing both groups and comparing access times.
+type CacheSpy struct {
+	cfg     CacheConfig
+	decoded []int
+	// perBitRatio is the spy's G1/G0 access-time ratio per bit — the
+	// Figure 7 series: >1 decodes '1', <1 decodes '0'.
+	perBitRatio []float64
+}
+
+// NewCacheSpy builds the receiver.
+func NewCacheSpy(cfg CacheConfig) *CacheSpy {
+	cfg.Protocol.validate()
+	if cfg.RoundsPerBit <= 0 || cfg.MaxBurstCycles == 0 {
+		panic("channels: cache spy needs RoundsPerBit and MaxBurstCycles")
+	}
+	return &CacheSpy{cfg: cfg}
+}
+
+// Name implements sim.Program.
+func (s *CacheSpy) Name() string { return "cache-spy" }
+
+// Run implements sim.Program.
+func (s *CacheSpy) Run(m *sim.Machine) {
+	geo := m.Geometry()
+	g1, g0 := selectSets(s.cfg, geo)
+	slot := s.cfg.slotCycles(geo)
+	round := s.cfg.roundLen(slot)
+	addrs := make([]uint64, geo.L2Ways)
+	probe := func(group []uint32) uint64 {
+		var total uint64
+		for _, set := range group {
+			for w := range addrs {
+				addrs[w] = m.L2AddrForSet(set, w)
+			}
+			total += m.LoadN(addrs)
+		}
+		return total
+	}
+	// Warm-up: prime both groups during slot 0.
+	m.WaitUntil(s.cfg.Start)
+	probe(g1)
+	probe(g0)
+	for i := 0; ; i++ {
+		if _, done := s.cfg.bitAt(i); done {
+			return
+		}
+		start := s.cfg.Start + uint64(i+1)*slot
+		var lat1, lat0 uint64
+		for r := 0; r < s.cfg.RoundsPerBit; r++ {
+			// Probe halfway through each round, after the trojan's
+			// replacements.
+			m.WaitUntil(start + uint64(r)*round + round/2)
+			lat1 += probe(g1)
+			lat0 += probe(g0)
+		}
+		ratio := float64(lat1) / float64(lat0)
+		s.perBitRatio = append(s.perBitRatio, ratio)
+		if ratio > 1 {
+			s.decoded = append(s.decoded, 1)
+		} else {
+			s.decoded = append(s.decoded, 0)
+		}
+	}
+}
+
+// Decoded returns the bits the spy inferred so far.
+func (s *CacheSpy) Decoded() []int { return s.decoded }
+
+// PerBitRatio returns the spy's G1/G0 access-time ratio per bit — the
+// observable of Figure 7.
+func (s *CacheSpy) PerBitRatio() []float64 { return s.perBitRatio }

@@ -1,0 +1,105 @@
+// Package channels implements the three realistic covert timing
+// channels the paper evaluates CC-Hunter against (§IV):
+//
+//   - a memory bus channel after Wu et al. [9]: the trojan signals '1'
+//     by issuing atomic unaligned accesses that lock the bus, and the
+//     spy decodes from its memory access latencies;
+//   - an integer divider channel after Wang & Lee [7]: trojan and spy
+//     run as hyperthreads of one core; the trojan saturates the
+//     divider for '1' and the spy times division loops;
+//   - a shared-cache channel after Xu et al. [10]: the trojan replaces
+//     the blocks of one of two dynamically chosen cache-set groups
+//     (G1 for '1', G0 for '0') and the spy compares its probe
+//     latencies over the two groups.
+//
+// Each channel is a (Trojan, Spy) pair of sim.Programs synchronized by
+// bit slots derived from the configured bandwidth, as real
+// implementations synchronize on wall-clock slots.
+package channels
+
+import (
+	"cchunter/internal/sim"
+	"cchunter/internal/stats"
+)
+
+// Protocol is the part of a channel configuration the trojan and spy
+// agree on beforehand (the covert channel's synchronization phase).
+type Protocol struct {
+	// Message is the bit sequence to transmit (e.g. a 64-bit credit
+	// card number).
+	Message []int
+	// BPS is the channel bandwidth in bits per second; each bit
+	// occupies ClockHz/BPS cycles.
+	BPS float64
+	// Start is the absolute cycle of the first bit slot.
+	Start uint64
+	// Repeat loops the message until the simulation stops.
+	Repeat bool
+	// Seed parameterizes dynamic choices (e.g. which cache sets carry
+	// the cache channel).
+	Seed uint64
+}
+
+// validate panics on unusable protocol parameters: channel
+// configurations are experiment code, not user input.
+func (p Protocol) validate() {
+	if len(p.Message) == 0 {
+		panic("channels: empty message")
+	}
+	if p.BPS <= 0 {
+		panic("channels: bandwidth must be positive")
+	}
+	for _, b := range p.Message {
+		if b != 0 && b != 1 {
+			panic("channels: message bits must be 0 or 1")
+		}
+	}
+}
+
+// slotCycles returns the bit-slot length for the machine geometry.
+func (p Protocol) slotCycles(geo sim.Geometry) uint64 {
+	return uint64(float64(geo.ClockHz) / p.BPS)
+}
+
+// bitAt returns the bit transmitted in global slot index i.
+func (p Protocol) bitAt(i int) (bit int, done bool) {
+	if i < len(p.Message) {
+		return p.Message[i], false
+	}
+	if !p.Repeat {
+		return 0, true
+	}
+	return p.Message[i%len(p.Message)], false
+}
+
+// RandomMessage generates an n-bit random message — the experiments'
+// stand-in for the paper's "randomly-chosen 64-bit credit card
+// number".
+func RandomMessage(n int, seed uint64) []int {
+	return stats.NewRNG(seed).Bits(n)
+}
+
+// BitErrors counts positions where decoded differs from sent,
+// comparing up to the shorter length and counting missing bits as
+// errors.
+func BitErrors(sent, decoded []int) int {
+	errs := 0
+	n := len(sent)
+	if len(decoded) < n {
+		errs += n - len(decoded)
+		n = len(decoded)
+	}
+	for i := 0; i < n; i++ {
+		if sent[i] != decoded[i] {
+			errs++
+		}
+	}
+	return errs
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

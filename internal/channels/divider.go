@@ -1,0 +1,133 @@
+package channels
+
+import "cchunter/internal/sim"
+
+// DivConfig configures the integer divider covert channel. Trojan and
+// spy must be pinned onto the two hyperthreads of one core: the
+// divider bank is per-core.
+type DivConfig struct {
+	Protocol
+	// MaxBurstCycles caps the contention burst within a bit slot.
+	MaxBurstCycles uint64
+	// OpsPerSample is the constant number of divisions in each of the
+	// spy's timed loop iterations (§IV-A: "executing loop iterations
+	// with a constant number of integer division operations and
+	// timing them"). The spy iterates continuously through the burst.
+	OpsPerSample int
+	// DecisionLatency is the spy's per-iteration threshold separating
+	// contended from uncontended divider state, in cycles.
+	DecisionLatency uint64
+}
+
+// DefaultDivConfig returns a paper-shaped divider channel: with the
+// default 5-cycle divider, saturating trojan and spy threads put
+// ~90-100 cross-context wait events into each Δt = 500-cycle window,
+// Figure 6b's burst bins.
+func DefaultDivConfig(message []int, bps float64) DivConfig {
+	return DivConfig{
+		Protocol:        Protocol{Message: message, BPS: bps, Start: 0, Seed: 1},
+		MaxBurstCycles:  50_000,
+		OpsPerSample:    20,
+		DecisionLatency: 150,
+	}
+}
+
+// DivTrojan transmits by saturating the core's division units.
+type DivTrojan struct {
+	cfg DivConfig
+}
+
+// NewDivTrojan builds the transmitter.
+func NewDivTrojan(cfg DivConfig) *DivTrojan {
+	cfg.Protocol.validate()
+	if cfg.MaxBurstCycles == 0 {
+		panic("channels: div trojan needs MaxBurstCycles")
+	}
+	return &DivTrojan{cfg: cfg}
+}
+
+// Name implements sim.Program.
+func (t *DivTrojan) Name() string { return "div-trojan" }
+
+// Run implements sim.Program.
+func (t *DivTrojan) Run(m *sim.Machine) {
+	geo := m.Geometry()
+	slot := t.cfg.slotCycles(geo)
+	burst := minU64(slot, t.cfg.MaxBurstCycles)
+	for i := 0; ; i++ {
+		bit, done := t.cfg.bitAt(i)
+		if done {
+			return
+		}
+		start := t.cfg.Start + uint64(i)*slot
+		now := m.WaitUntil(start)
+		if bit == 0 {
+			continue // empty loop: division units stay un-contended
+		}
+		// Individual (unbatched) divisions so the two hyperthreads'
+		// instructions interleave cycle by cycle, as on real SMT.
+		for now < start+burst {
+			m.Div()
+			now = m.Now()
+		}
+	}
+}
+
+// DivSpy decodes by timing constant-length division loops.
+type DivSpy struct {
+	cfg     DivConfig
+	decoded []int
+	// perBitLatency is the spy's average loop latency per bit — the
+	// Figure 3 series.
+	perBitLatency []float64
+}
+
+// NewDivSpy builds the receiver.
+func NewDivSpy(cfg DivConfig) *DivSpy {
+	cfg.Protocol.validate()
+	if cfg.OpsPerSample <= 0 || cfg.MaxBurstCycles == 0 {
+		panic("channels: div spy needs OpsPerSample and MaxBurstCycles")
+	}
+	return &DivSpy{cfg: cfg}
+}
+
+// Name implements sim.Program.
+func (s *DivSpy) Name() string { return "div-spy" }
+
+// Run implements sim.Program.
+func (s *DivSpy) Run(m *sim.Machine) {
+	geo := m.Geometry()
+	slot := s.cfg.slotCycles(geo)
+	burst := minU64(slot, s.cfg.MaxBurstCycles)
+	for i := 0; ; i++ {
+		if _, done := s.cfg.bitAt(i); done {
+			return
+		}
+		start := s.cfg.Start + uint64(i)*slot
+		now := m.WaitUntil(start)
+		var total, iters uint64
+		for now < start+burst {
+			t0 := now
+			for j := 0; j < s.cfg.OpsPerSample; j++ {
+				m.Div()
+			}
+			now = m.Now()
+			total += now - t0
+			iters++
+		}
+		avg := total / iters
+		s.perBitLatency = append(s.perBitLatency, float64(avg))
+		if avg > s.cfg.DecisionLatency {
+			s.decoded = append(s.decoded, 1)
+		} else {
+			s.decoded = append(s.decoded, 0)
+		}
+	}
+}
+
+// Decoded returns the bits the spy inferred so far.
+func (s *DivSpy) Decoded() []int { return s.decoded }
+
+// PerBitLatency returns the spy's average division-loop latency per
+// bit (cycles) — the observable of Figure 3.
+func (s *DivSpy) PerBitLatency() []float64 { return s.perBitLatency }

@@ -1,0 +1,155 @@
+// Package conflict implements CC-Hunter's conflict-miss trackers
+// (§V-A, Figure 9).
+//
+// A conflict miss happens in a set-associative cache when several
+// blocks map into the same set and replace each other even though
+// capacity remains elsewhere: a fully-associative cache of the same
+// capacity with LRU replacement would have kept the block. The paper
+// describes two designs:
+//
+//   - an *ideal* tracker keeping a fully-associative LRU stack of all
+//     block addresses (expensive in hardware, exact), and
+//   - a *practical* tracker that approximates the stack with four age
+//     "generations", per-block generation bits, and one three-hash
+//     Bloom filter per generation remembering prematurely evicted tags.
+//
+// Both are implemented here so the ablation benchmarks can compare
+// them.
+package conflict
+
+// Observation describes one access to the tracked cache, as reported
+// by the cache model.
+type Observation struct {
+	// LineAddr is the full line address of the accessed block.
+	LineAddr uint64
+	// Set is the set index the block maps to.
+	Set uint32
+	// Ctx is the accessing hardware context (the replacer on a miss).
+	Ctx uint8
+	// Hit reports whether the access hit.
+	Hit bool
+	// Evicted reports whether installing the block displaced a valid
+	// block (only meaningful when !Hit).
+	Evicted bool
+	// EvictedLine is the displaced block's line address.
+	EvictedLine uint64
+	// EvictedOwner is the displaced block's owning context.
+	EvictedOwner uint8
+}
+
+// Tracker decides, for every access, whether it is a conflict miss.
+type Tracker interface {
+	// Observe consumes one access and reports whether it was a
+	// conflict miss: the block missed although it was recently enough
+	// used that a fully-associative cache would have retained it.
+	Observe(o Observation) bool
+	// Name identifies the tracker implementation.
+	Name() string
+	// Reset clears all tracking state.
+	Reset()
+}
+
+// Ideal is the exact tracker: a fully-associative LRU stack of
+// capacity equal to the cache's block count. An access is a conflict
+// miss when it misses in the real cache but its line address is still
+// within the stack (i.e. among the N most recently used distinct
+// lines).
+type Ideal struct {
+	capacity int
+	nodes    map[uint64]*node
+	head     *node // most recently used
+	tail     *node // least recently used
+	size     int
+
+	conflicts uint64
+}
+
+type node struct {
+	line       uint64
+	prev, next *node
+}
+
+// NewIdeal returns an ideal tracker for a cache with capacity blocks.
+func NewIdeal(capacity int) *Ideal {
+	if capacity <= 0 {
+		panic("conflict: capacity must be positive")
+	}
+	return &Ideal{capacity: capacity, nodes: make(map[uint64]*node, capacity)}
+}
+
+// Name implements Tracker.
+func (t *Ideal) Name() string { return "ideal-lru-stack" }
+
+// Reset implements Tracker.
+func (t *Ideal) Reset() {
+	t.nodes = make(map[uint64]*node, t.capacity)
+	t.head, t.tail, t.size = nil, nil, 0
+	t.conflicts = 0
+}
+
+// Observe implements Tracker.
+func (t *Ideal) Observe(o Observation) bool {
+	n, inStack := t.nodes[o.LineAddr]
+	conflict := !o.Hit && inStack
+	if conflict {
+		t.conflicts++
+	}
+	if inStack {
+		t.moveToFront(n)
+	} else {
+		t.insertFront(o.LineAddr)
+	}
+	return conflict
+}
+
+// Conflicts returns the number of conflict misses detected.
+func (t *Ideal) Conflicts() uint64 { return t.conflicts }
+
+func (t *Ideal) insertFront(line uint64) {
+	n := &node{line: line, next: t.head}
+	if t.head != nil {
+		t.head.prev = n
+	}
+	t.head = n
+	if t.tail == nil {
+		t.tail = n
+	}
+	t.nodes[line] = n
+	t.size++
+	if t.size > t.capacity {
+		// Drop the LRU entry: it falls off the bottom of the stack.
+		old := t.tail
+		t.tail = old.prev
+		if t.tail != nil {
+			t.tail.next = nil
+		} else {
+			t.head = nil
+		}
+		delete(t.nodes, old.line)
+		t.size--
+	}
+}
+
+func (t *Ideal) moveToFront(n *node) {
+	if t.head == n {
+		return
+	}
+	// Unlink.
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if t.tail == n {
+		t.tail = n.prev
+	}
+	// Relink at head.
+	n.prev = nil
+	n.next = t.head
+	t.head.prev = n
+	t.head = n
+}
+
+// StackSize returns the current number of tracked lines (tests).
+func (t *Ideal) StackSize() int { return t.size }

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cchunter/internal/auditor"
+	"cchunter/internal/trace"
+)
+
+// DetectorConfig combines the two algorithms' parameters with the
+// daemon's observation policy.
+type DetectorConfig struct {
+	// QuantumCycles is the OS time quantum.
+	QuantumCycles uint64
+	// Burst configures recurrent burst pattern detection.
+	Burst BurstConfig
+	// Oscillation configures oscillatory pattern detection.
+	Oscillation OscillationConfig
+	// ObservationDivisor splits each quantum into this many oscillation
+	// observation windows (§VI-A: finer-grained windows — 0.75×, 0.5×,
+	// 0.25× of a quantum — detect low-bandwidth channels more
+	// effectively). 1 analyzes whole quanta.
+	ObservationDivisor int
+}
+
+// DefaultDetectorConfig returns the paper-calibrated detector for a
+// machine with the given quantum and hardware context count.
+func DefaultDetectorConfig(quantumCycles uint64, contexts int) DetectorConfig {
+	return DetectorConfig{
+		QuantumCycles:      quantumCycles,
+		Burst:              DefaultBurstConfig(),
+		Oscillation:        DefaultOscillationConfig(contexts),
+		ObservationDivisor: 1,
+	}
+}
+
+// ContentionVerdict is the burst-detection outcome for one monitored
+// combinational unit.
+type ContentionVerdict struct {
+	Kind     trace.Kind
+	Analysis BurstAnalysis
+}
+
+// OscillationVerdict is the oscillation-detection outcome for the
+// monitored cache.
+type OscillationVerdict struct {
+	// Windows holds every non-empty observation window's analysis.
+	Windows []OscillationAnalysis
+	// Best is the strongest window (see BestWindow).
+	Best OscillationAnalysis
+	// DetectedWindows counts windows with sustained periodicity.
+	DetectedWindows int
+	// Detected reports the overall oscillation verdict.
+	Detected bool
+}
+
+// Report is a full CC-Hunter analysis over one run.
+type Report struct {
+	// Contention holds one verdict per monitored combinational unit.
+	Contention []ContentionVerdict
+	// Oscillation holds the cache verdict; nil when conflict
+	// monitoring was off.
+	Oscillation *OscillationVerdict
+	// Detected reports whether any monitored resource shows a covert
+	// timing channel.
+	Detected bool
+}
+
+// String renders a terse human-readable summary.
+func (r Report) String() string {
+	var sb strings.Builder
+	for _, c := range r.Contention {
+		fmt.Fprintf(&sb, "%s: detected=%v LR=%.3f threshold=%d burstQuanta=%d\n",
+			c.Kind, c.Analysis.Detected, c.Analysis.LikelihoodRatio,
+			c.Analysis.ThresholdDensity, c.Analysis.BurstQuanta)
+	}
+	if r.Oscillation != nil {
+		fmt.Fprintf(&sb, "cache: detected=%v peak=%.3f at lag %d (%d/%d windows)\n",
+			r.Oscillation.Detected, r.Oscillation.Best.PeakValue,
+			r.Oscillation.Best.FundamentalLag, r.Oscillation.DetectedWindows,
+			len(r.Oscillation.Windows))
+	}
+	fmt.Fprintf(&sb, "verdict: covert timing channel detected=%v", r.Detected)
+	return sb.String()
+}
+
+// Detector is the CC-Hunter software daemon's analysis half: it reads
+// the CC-Auditor's recorded buffers and renders verdicts.
+type Detector struct {
+	aud *auditor.Auditor
+	cfg DetectorConfig
+}
+
+// NewDetector wraps an auditor. The auditor keeps collecting; call
+// Analyze whenever a verdict is needed.
+func NewDetector(aud *auditor.Auditor, cfg DetectorConfig) *Detector {
+	if aud == nil {
+		panic("core: detector needs an auditor")
+	}
+	if cfg.QuantumCycles == 0 {
+		panic("core: detector needs the quantum length")
+	}
+	if cfg.ObservationDivisor <= 0 {
+		cfg.ObservationDivisor = 1
+	}
+	return &Detector{aud: aud, cfg: cfg}
+}
+
+// Analyze flushes the auditor up to endCycle and runs both detection
+// algorithms over everything recorded so far.
+func (d *Detector) Analyze(endCycle uint64) Report {
+	d.aud.Flush(endCycle)
+	var rep Report
+	for _, kind := range []trace.Kind{trace.KindBusLock, trace.KindDivContention} {
+		recs := d.aud.Histograms(kind)
+		if d.aud.DeltaT(kind) == 0 {
+			continue // not monitored
+		}
+		a := AnalyzeBursts(recs, d.cfg.Burst)
+		rep.Contention = append(rep.Contention, ContentionVerdict{Kind: kind, Analysis: a})
+		if a.Detected {
+			rep.Detected = true
+		}
+	}
+	if train := d.aud.ConflictTrain(); train != nil {
+		window := d.cfg.QuantumCycles / uint64(d.cfg.ObservationDivisor)
+		if window == 0 {
+			window = d.cfg.QuantumCycles
+		}
+		v := &OscillationVerdict{
+			Windows: AnalyzeOscillationWindows(train, 0, endCycle, window, d.cfg.Oscillation),
+		}
+		v.Best, _ = BestWindow(v.Windows)
+		for _, w := range v.Windows {
+			if w.Detected {
+				v.DetectedWindows++
+			}
+		}
+		v.Detected = v.DetectedWindows >= 1
+		rep.Oscillation = v
+		if v.Detected {
+			rep.Detected = true
+		}
+	}
+	return rep
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"cchunter/internal/stats"
+	"cchunter/internal/trace"
+)
+
+// OscillationConfig tunes the oscillatory pattern detector (§IV-D).
+type OscillationConfig struct {
+	// MaxLag bounds the autocorrelogram (paper plots go to lag 1000).
+	MaxLag int
+	// MinLag ignores trivially short periods, which benign tight
+	// loops produce in abundance.
+	MinLag int
+	// PeakThreshold is the minimum autocorrelation coefficient for a
+	// peak to count as significant. The paper's channels peak at
+	// 0.85–0.95; benign programs stay well below.
+	PeakThreshold float64
+	// HarmonicTolerance is the relative lag tolerance when matching
+	// harmonics of the fundamental period (random conflicts shift the
+	// paper's 512-set peak to lag 533, ~4%).
+	HarmonicTolerance float64
+	// MinHarmonics is how many periodic peaks (fundamental included)
+	// must be present for sustained periodicity. Requiring ≥2 rejects
+	// the paper's webserver case, whose brief periodicity dies past
+	// lag 180.
+	MinHarmonics int
+	// MinProminence is how far a candidate peak must rise above the
+	// lowest autocorrelation at any smaller lag. Benign run-length
+	// correlation decays slowly from lag 0 and its wiggles sit on a
+	// high shoulder (near-zero prominence); a true oscillation's peak
+	// climbs from a deep valley (the anti-phase at half its period).
+	MinProminence float64
+	// MinCoupleShare is the minimum fraction of the train's events a
+	// context couple must contribute before it is worth
+	// autocorrelating (a covert channel's endpoints dominate their
+	// train; couples below this share cannot carry a usable channel
+	// within the window).
+	MinCoupleShare float64
+	// RawPairSeries selects the paper's original series formulation:
+	// one series over all events, each labelled with its unique
+	// ordered-pair identifier (§IV-D). Interleaved noise events then
+	// carry labels far from the series mean and dilute the
+	// autocorrelation — which is why the paper needs finer observation
+	// windows for low-bandwidth channels (Figure 11). The default
+	// (false) projects each candidate couple onto a ±1/0 series, which
+	// is invariant to the amplitude of interleaved noise and only
+	// sees its phase stretch; the ablation benchmarks compare the two.
+	RawPairSeries bool
+	// Contexts is the hardware context count.
+	Contexts int
+}
+
+// DefaultOscillationConfig returns parameters matching the paper's
+// plots.
+func DefaultOscillationConfig(contexts int) OscillationConfig {
+	return OscillationConfig{
+		MaxLag:            1000,
+		MinLag:            8,
+		PeakThreshold:     0.5,
+		HarmonicTolerance: 0.15,
+		MinHarmonics:      2,
+		MinProminence:     0.2,
+		MinCoupleShare:    0.05,
+		Contexts:          contexts,
+	}
+}
+
+// OscillationAnalysis is the outcome of one oscillation analysis.
+type OscillationAnalysis struct {
+	// Pair is the unordered context couple whose event series showed
+	// the strongest (or, failing detection, the most) structure.
+	Pair [2]uint8
+	// Autocorrelogram holds r_p for lags 0..MaxLag of the best
+	// couple's label series (Figure 8b).
+	Autocorrelogram []float64
+	// Peaks are the significant local maxima.
+	Peaks []stats.Peak
+	// FundamentalLag is the lag of the strongest significant peak —
+	// for a cache channel, approximately the number of cache sets used
+	// for covert communication (plus an offset from interleaved
+	// noise, as in the paper's 533 vs 512).
+	FundamentalLag int
+	// PeakValue is the autocorrelation at the fundamental lag.
+	PeakValue float64
+	// Harmonics counts significant peaks at (approximate) multiples of
+	// the fundamental, itself included.
+	Harmonics int
+	// Events is the number of conflict-miss entries in the analyzed
+	// window.
+	Events int
+	// Detected reports sustained periodicity: a covert timing channel
+	// on the monitored cache.
+	Detected bool
+}
+
+// AnalyzeOscillation runs the oscillatory pattern detector over a
+// conflict-miss train (normally one observation window's worth — an OS
+// time quantum, or a fraction of one for low-bandwidth channels, per
+// §VI-A).
+//
+// Every conflict miss carries its ordered (replacer → victim) pair
+// identifier. For each context couple {a, b} with a non-trivial share
+// of the window, the train is mapped to a label series — +1 for a→b,
+// −1 for b→a, 0 for events of other pairs (which thereby stretch the
+// apparent period, exactly the paper's lag-533-for-512-sets effect) —
+// and the series is autocorrelated. The strongest couple is reported.
+func AnalyzeOscillation(train *trace.Train, cfg OscillationConfig) OscillationAnalysis {
+	var out OscillationAnalysis
+	if train == nil {
+		return out
+	}
+	out.Events = train.Len()
+	if out.Events < 4 {
+		return out
+	}
+	if cfg.RawPairSeries {
+		out = analyzeSeries(appearanceOrderSeries(train), cfg)
+		out.Pair = dominantCouple(train)
+		out.Events = train.Len()
+		return out
+	}
+	minEvents := int(cfg.MinCoupleShare * float64(out.Events))
+	if minEvents < 4 {
+		minEvents = 4
+	}
+	for _, couple := range coupleCounts(train, minEvents) {
+		a := analyzeCouple(train, couple, cfg)
+		if better(a, out) {
+			out = a
+		}
+	}
+	out.Events = train.Len()
+	return out
+}
+
+// appearanceOrderSeries maps each event to its ordered pair's
+// identifier, assigning identifiers in order of first appearance —
+// the paper's "S→T is assigned '0' and T→S is assigned '1'". The
+// transmitting pair's two directions dominate the window and thus get
+// the small, adjacent identifiers.
+func appearanceOrderSeries(train *trace.Train) []float64 {
+	ids := make(map[[2]uint8]int)
+	out := make([]float64, train.Len())
+	for i, e := range train.Events() {
+		key := [2]uint8{e.Actor, e.Victim}
+		id, ok := ids[key]
+		if !ok {
+			id = len(ids)
+			ids[key] = id
+		}
+		out[i] = float64(id)
+	}
+	return out
+}
+
+// dominantCouple reports the couple with the most events, for raw-mode
+// attribution.
+func dominantCouple(train *trace.Train) [2]uint8 {
+	counts := make(map[[2]uint8]int)
+	for _, e := range train.Events() {
+		if e.Victim == trace.NoContext || e.Victim == e.Actor {
+			continue
+		}
+		a, b := e.Actor, e.Victim
+		if a > b {
+			a, b = b, a
+		}
+		counts[[2]uint8{a, b}]++
+	}
+	var best [2]uint8
+	bestN := 0
+	for c, n := range counts {
+		if n > bestN || (n == bestN && less(c, best)) {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// better orders analyses: detected beats undetected; then higher peak.
+func better(a, b OscillationAnalysis) bool {
+	if a.Detected != b.Detected {
+		return a.Detected
+	}
+	return a.PeakValue > b.PeakValue
+}
+
+// coupleCounts returns the unordered context couples with at least
+// minEvents events (both directions combined) in the train.
+func coupleCounts(train *trace.Train, minEvents int) [][2]uint8 {
+	counts := make(map[[2]uint8]int)
+	for _, e := range train.Events() {
+		if e.Victim == trace.NoContext || e.Victim == e.Actor {
+			continue
+		}
+		a, b := e.Actor, e.Victim
+		if a > b {
+			a, b = b, a
+		}
+		counts[[2]uint8{a, b}]++
+	}
+	var out [][2]uint8
+	for c, n := range counts {
+		if n >= minEvents {
+			out = append(out, c)
+		}
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b [2]uint8) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// analyzeCouple autocorrelates one couple's ±1/0 label series.
+func analyzeCouple(train *trace.Train, couple [2]uint8, cfg OscillationConfig) OscillationAnalysis {
+	series := make([]float64, train.Len())
+	for i, e := range train.Events() {
+		switch {
+		case e.Actor == couple[0] && e.Victim == couple[1]:
+			series[i] = 1
+		case e.Actor == couple[1] && e.Victim == couple[0]:
+			series[i] = -1
+		}
+	}
+	out := analyzeSeries(series, cfg)
+	out.Pair = couple
+	out.Events = train.Len()
+	return out
+}
+
+// analyzeSeries runs the peak/prominence/harmonic machinery over one
+// label series.
+func analyzeSeries(series []float64, cfg OscillationConfig) OscillationAnalysis {
+	var out OscillationAnalysis
+	maxLag := cfg.MaxLag
+	if maxLag <= 0 {
+		maxLag = 1000
+	}
+	if maxLag > len(series)-1 {
+		maxLag = len(series) - 1
+	}
+	out.Autocorrelogram = stats.Autocorrelogram(series, maxLag)
+	out.Peaks = stats.Peaks(out.Autocorrelogram, cfg.PeakThreshold)
+	// Track the running minimum so each candidate peak's prominence
+	// (rise above the deepest preceding valley) is available in one
+	// pass.
+	runMin := make([]float64, len(out.Autocorrelogram))
+	low := 1.0
+	for lag := 1; lag < len(out.Autocorrelogram); lag++ {
+		if out.Autocorrelogram[lag] < low {
+			low = out.Autocorrelogram[lag]
+		}
+		runMin[lag] = low
+	}
+	for _, p := range out.Peaks {
+		if p.Lag < cfg.MinLag {
+			continue
+		}
+		if p.Value-runMin[p.Lag] < cfg.MinProminence {
+			continue // wiggle on a decay shoulder, not an oscillation
+		}
+		if p.Value > out.PeakValue {
+			out.FundamentalLag = p.Lag
+			out.PeakValue = p.Value
+		}
+	}
+	if out.FundamentalLag == 0 {
+		return out
+	}
+	out.Harmonics = countHarmonics(series, out.Autocorrelogram, out.FundamentalLag, cfg)
+	out.Detected = out.Harmonics >= cfg.MinHarmonics
+	return out
+}
+
+// countHarmonics counts multiples m×fundamental (m = 1, 2, ...) at
+// which the label series shows a significant autocorrelation peak,
+// scanning within the tolerance band around each multiple. Lags inside
+// the precomputed correlogram are read from it; harmonics beyond
+// MaxLag (a long fundamental in a short plot) are verified with
+// targeted autocorrelation computations on the series. Periodicity
+// must be sustained, so counting stops at the first missing harmonic;
+// harmonics the series is too short to verify cannot be counted.
+func countHarmonics(series, acf []float64, fundamental int, cfg OscillationConfig) int {
+	count := 0
+	for m := 1; ; m++ {
+		center := m * fundamental
+		tol := int(float64(center) * cfg.HarmonicTolerance)
+		if tol < 2 {
+			tol = 2
+		}
+		if center-tol >= len(series) {
+			break
+		}
+		best := 0.0
+		for lag := center - tol; lag <= center+tol && lag < len(series); lag++ {
+			if lag < 1 {
+				continue
+			}
+			var v float64
+			if lag < len(acf) {
+				v = acf[lag]
+			} else {
+				v = stats.Autocorrelation(series, lag)
+			}
+			if v > best {
+				best = v
+			}
+		}
+		// Harmonics decay with lag; accept a gentle relaxation of the
+		// threshold for higher multiples.
+		need := cfg.PeakThreshold
+		if m > 1 {
+			need *= 0.8
+		}
+		if best >= need {
+			count++
+		} else {
+			break
+		}
+	}
+	return count
+}
+
+// AnalyzeOscillationWindows slices the train into observation windows
+// of the given length in cycles (§VI-A's finer-granularity analysis:
+// fractions of an OS time quantum) and analyzes each window
+// independently, returning every non-empty window's analysis.
+func AnalyzeOscillationWindows(train *trace.Train, start, end, window uint64, cfg OscillationConfig) []OscillationAnalysis {
+	if train == nil || window == 0 || end <= start {
+		return nil
+	}
+	var out []OscillationAnalysis
+	for ws := start; ws < end; ws += window {
+		we := ws + window
+		if we > end {
+			we = end
+		}
+		w := train.Window(ws, we)
+		if w.Len() == 0 {
+			continue
+		}
+		out = append(out, AnalyzeOscillation(w, cfg))
+	}
+	return out
+}
+
+// BestWindow returns the analysis with the strongest detected
+// periodicity (highest peak among detected windows, falling back to
+// the highest peak overall). ok is false for an empty slice.
+func BestWindow(analyses []OscillationAnalysis) (best OscillationAnalysis, ok bool) {
+	for _, a := range analyses {
+		if !ok {
+			best, ok = a, true
+			continue
+		}
+		if better(a, best) {
+			best = a
+		}
+	}
+	return best, ok
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cchunter"
+)
+
+// MitigationRow is one (channel, defense) cell of the mitigation
+// study.
+type MitigationRow struct {
+	Channel    cchunter.Channel
+	Mitigation string // "" = unprotected baseline
+	BitErrors  int
+	Decoded    int
+	Detected   bool
+}
+
+// ErrorRate returns the channel's bit error rate for the run.
+func (r MitigationRow) ErrorRate() float64 {
+	if r.Decoded == 0 {
+		return 1
+	}
+	return float64(r.BitErrors) / float64(r.Decoded)
+}
+
+// MitigationResult is the post-detection damage-control study.
+type MitigationResult struct {
+	Rows []MitigationRow
+}
+
+// ExtMitigation runs each covert channel unprotected and under its
+// matching defense (internal/mitigate) — the "damage control
+// strategies like limiting resource sharing or bandwidth reduction"
+// the paper positions as CC-Hunter's complement (§I). The defenses
+// should push the channels' bit error rates toward coin-flipping.
+func ExtMitigation(o Options) MitigationResult {
+	o = o.norm()
+	var out MitigationResult
+	cases := []struct {
+		ch  cchunter.Channel
+		mit string
+	}{
+		{cchunter.ChannelMemoryBus, ""},
+		{cchunter.ChannelMemoryBus, "buslimit"},
+		{cchunter.ChannelIntegerDivider, ""},
+		{cchunter.ChannelIntegerDivider, "tdm"},
+		{cchunter.ChannelSharedCache, ""},
+		{cchunter.ChannelSharedCache, "partition"},
+	}
+	for _, c := range cases {
+		msg := cchunter.RandomMessage(min(o.MessageBits, 32), o.Seed)
+		sc := cchunter.Scenario{
+			Channel:    c.ch,
+			Message:    msg,
+			Mitigation: c.mit,
+			Seed:       o.Seed,
+		}
+		switch c.ch {
+		case cchunter.ChannelSharedCache:
+			sc.BandwidthBPS = o.cacheBPS(100)
+			sc.QuantumCycles = o.cacheQuantum()
+			sc.CacheSets = 256
+		default:
+			sc.BandwidthBPS = o.rowBPS(1000)
+			sc.QuantumCycles = o.rowQuantum(1000)
+			sc.DurationQuanta = 2
+		}
+		res := run(sc)
+		out.Rows = append(out.Rows, MitigationRow{
+			Channel:    c.ch,
+			Mitigation: c.mit,
+			BitErrors:  res.BitErrors,
+			Decoded:    len(res.Decoded),
+			Detected:   res.Report.Detected,
+		})
+	}
+	return out
+}
+
+// Summary renders the mitigation study.
+func (r MitigationResult) Summary() string {
+	var sb strings.Builder
+	sb.WriteString("Mitigation study (extension; §I's damage-control complement):\n")
+	for _, row := range r.Rows {
+		mit := row.Mitigation
+		if mit == "" {
+			mit = "none"
+		}
+		fmt.Fprintf(&sb, "  %-8s defense=%-9s error rate %5.1f%% (%d/%d bits), detected=%v\n",
+			row.Channel, mit, row.ErrorRate()*100, row.BitErrors, row.Decoded, row.Detected)
+	}
+	sb.WriteString("  (defenses push reliability toward coin-flipping; an unreliable channel is a dead channel)")
+	return sb.String()
+}
+
+// EvasionRow is one camouflage-intensity point of the evasion study.
+type EvasionRow struct {
+	// Noise is the trojan's camouflage probability per '0' slot.
+	Noise float64
+	// LikelihoodRatio is the burst detector's statistic.
+	LikelihoodRatio float64
+	// Detected is the verdict.
+	Detected bool
+	// ErrorRate is the spy's bit error rate.
+	ErrorRate float64
+}
+
+// EvasionResult is the §III evasion study.
+type EvasionResult struct {
+	Rows []EvasionRow
+}
+
+// ExtEvasion sweeps the bus trojan's camouflage intensity: the §III
+// argument that "it is impossible for a covert timing channel to just
+// randomly inflate conflict events ... simply to evade detection" —
+// camouflage bursts are indistinguishable from signal bursts to the
+// spy too, so reliability collapses while the burst statistics stay
+// channel-like.
+func ExtEvasion(o Options) EvasionResult {
+	o = o.norm()
+	var out EvasionResult
+	for _, noise := range []float64{0, 0.25, 0.5, 1.0} {
+		msg := cchunter.RandomMessage(min(o.MessageBits, 32), o.Seed)
+		res := run(cchunter.Scenario{
+			Channel:        cchunter.ChannelMemoryBus,
+			BandwidthBPS:   o.rowBPS(1000),
+			Message:        msg,
+			QuantumCycles:  o.rowQuantum(1000),
+			DurationQuanta: 2,
+			EvasionNoise:   noise,
+			Seed:           o.Seed,
+		})
+		row := EvasionRow{Noise: noise}
+		for _, v := range res.Report.Contention {
+			if v.Kind == cchunter.EventBusLock {
+				row.LikelihoodRatio = v.Analysis.LikelihoodRatio
+				row.Detected = v.Analysis.Detected
+			}
+		}
+		if n := len(res.Decoded); n > 0 {
+			row.ErrorRate = float64(res.BitErrors) / float64(n)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Summary renders the evasion study.
+func (r EvasionResult) Summary() string {
+	var sb strings.Builder
+	sb.WriteString("Evasion study (extension; the paper's §III argument):\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  camouflage %.0f%%: LR=%.3f detected=%v, spy bit error rate %.1f%%\n",
+			row.Noise*100, row.LikelihoodRatio, row.Detected, row.ErrorRate*100)
+	}
+	sb.WriteString("  (inflating random conflicts destroys the spy's decoding before it hides the bursts)")
+	return sb.String()
+}

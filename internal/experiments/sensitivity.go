@@ -1,0 +1,425 @@
+package experiments
+
+import (
+	"cchunter"
+	"cchunter/internal/core"
+	"cchunter/internal/stats"
+)
+
+// ChannelSummary condenses one detection run for the sweep tables.
+type ChannelSummary struct {
+	// Channel identifies which covert channel ran.
+	Channel cchunter.Channel
+	// PaperBPS is the unscaled bandwidth the row corresponds to.
+	PaperBPS float64
+	// Hist is the indicator event density histogram (burst channels).
+	Hist *stats.Histogram
+	// LikelihoodRatio and BurstMean summarize the burst analysis.
+	LikelihoodRatio, BurstMean float64
+	// Autocorrelogram, PeakLag and PeakValue summarize the
+	// oscillation analysis (cache channel).
+	Autocorrelogram []float64
+	PeakLag         int
+	PeakValue       float64
+	// Detected is the per-resource verdict.
+	Detected bool
+	// BitErrors reports channel reliability for the run.
+	BitErrors int
+}
+
+// Figure10Result is the bandwidth sweep: every channel at 0.1, 10 and
+// 1000 bits per second.
+type Figure10Result struct {
+	Rows []ChannelSummary
+}
+
+// figure10Bandwidths are the paper's three sweep points.
+var figure10Bandwidths = []float64{0.1, 10, 1000}
+
+// Figure10 reproduces the bandwidth test: even at 0.1 bps the burst
+// channels keep likelihood ratios above 0.9 (the magnitudes of the Δt
+// frequencies shrink, not the ratio), and the cache channel keeps its
+// periodicity though with reduced strength at the lowest bandwidth.
+func Figure10(o Options) Figure10Result {
+	o = o.norm()
+	var out Figure10Result
+	for _, paperBPS := range figure10Bandwidths {
+		bits := bitsForBandwidth(o, paperBPS)
+		msg := cchunter.RandomMessage(bits, o.Seed)
+
+		for _, ch := range []cchunter.Channel{cchunter.ChannelMemoryBus, cchunter.ChannelIntegerDivider} {
+			res := run(cchunter.Scenario{
+				Channel:       ch,
+				BandwidthBPS:  o.rowBPS(paperBPS),
+				Message:       msg,
+				QuantumCycles: o.rowQuantum(paperBPS),
+				Seed:          o.Seed,
+			})
+			out.Rows = append(out.Rows, summarizeBurst(ch, paperBPS, res))
+		}
+
+		sets := 512
+		if paperBPS >= 1000 {
+			// High-bandwidth cache channels must shrink their set
+			// groups to fit a bit into the slot, as in Xu et al.
+			sets = 64
+		}
+		res := run(cchunter.Scenario{
+			Channel:       cchunter.ChannelSharedCache,
+			BandwidthBPS:  o.cacheBPS(paperBPS),
+			Message:       msg,
+			CacheSets:     sets,
+			QuantumCycles: o.cacheQuantum(),
+			Seed:          o.Seed,
+		})
+		out.Rows = append(out.Rows, summarizeCache(paperBPS, res))
+	}
+	return out
+}
+
+// bitsForBandwidth bounds message length so low-bandwidth runs stay
+// tractable: at 0.1 bps even the paper's observations cover only a
+// handful of bits (64 bits would take over ten minutes of machine
+// time).
+func bitsForBandwidth(o Options, paperBPS float64) int {
+	switch {
+	case paperBPS < 1:
+		return 4
+	case paperBPS < 100:
+		return min(o.MessageBits, 16)
+	default:
+		return o.MessageBits
+	}
+}
+
+func summarizeBurst(ch cchunter.Channel, paperBPS float64, res *cchunter.Result) ChannelSummary {
+	s := ChannelSummary{Channel: ch, PaperBPS: paperBPS, BitErrors: res.BitErrors}
+	kind := cchunter.EventBusLock
+	s.Hist = res.BusHistogram
+	if ch == cchunter.ChannelIntegerDivider {
+		kind = cchunter.EventDivContention
+		s.Hist = res.DivHistogram
+	}
+	for _, v := range res.Report.Contention {
+		if v.Kind == kind {
+			s.LikelihoodRatio = v.Analysis.LikelihoodRatio
+			s.BurstMean = v.Analysis.BurstMean
+			s.Detected = v.Analysis.Detected
+		}
+	}
+	return s
+}
+
+func summarizeCache(paperBPS float64, res *cchunter.Result) ChannelSummary {
+	s := ChannelSummary{Channel: cchunter.ChannelSharedCache, PaperBPS: paperBPS, BitErrors: res.BitErrors}
+	if osc := res.Report.Oscillation; osc != nil {
+		s.Autocorrelogram = osc.Best.Autocorrelogram
+		s.PeakLag = osc.Best.FundamentalLag
+		s.PeakValue = osc.Best.PeakValue
+		s.Detected = osc.Detected
+	}
+	return s
+}
+
+// Figure11Row is one observation-window fraction's outcome.
+type Figure11Row struct {
+	// Fraction of an OS time quantum used as the observation window.
+	Fraction float64
+	// PeakValue is the strongest window's peak autocorrelation.
+	PeakValue float64
+	// PeakLag is that window's fundamental lag.
+	PeakLag int
+	// Detected reports whether any window showed sustained
+	// periodicity.
+	Detected bool
+}
+
+// Figure11Result is the reduced-observation-window study.
+type Figure11Result struct {
+	Rows []Figure11Row
+}
+
+// Figure11 reproduces the low-bandwidth fine-grained analysis: a
+// 0.1 bps cache channel running against co-scheduled cache-hungry
+// processes. At full-quantum windows the interleaved noise dilutes the
+// autocorrelation; at 0.75×, 0.5× and 0.25× quantum windows the
+// repetitive peaks return.
+func Figure11(o Options) Figure11Result {
+	o = o.norm()
+	res := run(cchunter.Scenario{
+		Channel:       cchunter.ChannelSharedCache,
+		BandwidthBPS:  o.cacheBPS(0.1),
+		Message:       cchunter.RandomMessage(4, o.Seed),
+		CacheSets:     256,
+		CacheRounds:   6, // redundancy for reliability; the first round re-warms the tracker
+		QuantumCycles: o.cacheQuantum(),
+		Workloads:     []string{"tenant", "tenant"},
+		Seed:          o.Seed,
+	})
+	// The paper's original series formulation (unique pair identifiers
+	// over all events) is what loses strength at full-quantum windows
+	// under interleaved noise -- the effect Figure 11 demonstrates.
+	cfg := core.DefaultOscillationConfig(res.Contexts)
+	cfg.RawPairSeries = true
+	// With only a few bursts in the window, periodicity cannot sustain
+	// past the first harmonic; the paper reads the "significant
+	// repetitive peaks" directly, so the fine-grained analysis accepts
+	// a strong fundamental.
+	cfg.MinHarmonics = 1
+	cfg.PeakThreshold = 0.45
+	var out Figure11Result
+	for _, frac := range []float64{1.0, 0.75, 0.5, 0.25} {
+		window := uint64(float64(res.QuantumCycles) * frac)
+		analyses := core.AnalyzeOscillationWindows(res.ConflictTrain, 0, res.EndCycle, window, cfg)
+		best, ok := core.BestWindow(analyses)
+		row := Figure11Row{Fraction: frac}
+		if ok {
+			row.PeakValue = best.PeakValue
+			row.PeakLag = best.FundamentalLag
+			row.Detected = best.Detected
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Figure12Result aggregates runs over many random messages.
+type Figure12Result struct {
+	// Messages is how many random 64-bit messages were run.
+	Messages int
+	// BusMean/BusMin/BusMax are per-bin statistics of the bus lock
+	// density histogram across runs; likewise Div*.
+	BusMean, BusMin, BusMax []float64
+	DivMean, DivMin, DivMax []float64
+	// BusLRMin and DivLRMin are the worst likelihood ratios observed.
+	BusLRMin, DivLRMin float64
+	// CachePeakMin/Max bound the cache channel's peak autocorrelation.
+	CachePeakMin, CachePeakMax float64
+	// CacheLagMin/Max bound the fundamental lag.
+	CacheLagMin, CacheLagMax int
+	// AllDetected reports whether every run of every channel was
+	// caught.
+	AllDetected bool
+}
+
+// Figure12 reproduces the encoded-message-pattern test: random 64-bit
+// messages (the paper uses 256) through all three channels. Despite
+// variations in peak Δt frequencies, likelihood ratios stay above 0.9
+// and the cache autocorrelograms barely move.
+func Figure12(o Options, messages int) Figure12Result {
+	o = o.norm()
+	if messages <= 0 {
+		messages = 256
+	}
+	out := Figure12Result{Messages: messages, AllDetected: true}
+	out.BusLRMin, out.DivLRMin = 1, 1
+	out.CachePeakMin = 1
+	var busBins, divBins [][]float64
+	for i := 0; i < messages; i++ {
+		msg := cchunter.RandomMessage(o.MessageBits, o.Seed+uint64(i)*7919)
+		bus := run(cchunter.Scenario{
+			Channel: cchunter.ChannelMemoryBus, BandwidthBPS: o.rowBPS(1000),
+			Message: msg, QuantumCycles: o.rowQuantum(1000), DurationQuanta: 2,
+			Seed: o.Seed + uint64(i),
+		})
+		div := run(cchunter.Scenario{
+			Channel: cchunter.ChannelIntegerDivider, BandwidthBPS: o.rowBPS(1000),
+			Message: msg, QuantumCycles: o.rowQuantum(1000), DurationQuanta: 2,
+			Seed: o.Seed + uint64(i),
+		})
+		cache := run(cchunter.Scenario{
+			Channel: cchunter.ChannelSharedCache, BandwidthBPS: o.cacheBPS(100),
+			Message: msg, CacheSets: 512, QuantumCycles: o.cacheQuantum(), Seed: o.Seed + uint64(i),
+		})
+		busBins = append(busBins, histFloats(bus.BusHistogram))
+		divBins = append(divBins, histFloats(div.DivHistogram))
+		bs := summarizeBurst(cchunter.ChannelMemoryBus, 1000, bus)
+		ds := summarizeBurst(cchunter.ChannelIntegerDivider, 1000, div)
+		cs := summarizeCache(100, cache)
+		if bs.LikelihoodRatio < out.BusLRMin {
+			out.BusLRMin = bs.LikelihoodRatio
+		}
+		if ds.LikelihoodRatio < out.DivLRMin {
+			out.DivLRMin = ds.LikelihoodRatio
+		}
+		if cs.PeakValue < out.CachePeakMin {
+			out.CachePeakMin = cs.PeakValue
+		}
+		if cs.PeakValue > out.CachePeakMax {
+			out.CachePeakMax = cs.PeakValue
+		}
+		if out.CacheLagMin == 0 || cs.PeakLag < out.CacheLagMin {
+			out.CacheLagMin = cs.PeakLag
+		}
+		if cs.PeakLag > out.CacheLagMax {
+			out.CacheLagMax = cs.PeakLag
+		}
+		if !bs.Detected || !ds.Detected || !cs.Detected {
+			out.AllDetected = false
+		}
+	}
+	out.BusMean, out.BusMin, out.BusMax = binStats(busBins)
+	out.DivMean, out.DivMin, out.DivMax = binStats(divBins)
+	return out
+}
+
+func histFloats(h *stats.Histogram) []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.Floats()
+}
+
+// binStats computes per-bin mean/min/max across runs.
+func binStats(runs [][]float64) (mean, min, max []float64) {
+	if len(runs) == 0 {
+		return nil, nil, nil
+	}
+	n := len(runs[0])
+	mean = make([]float64, n)
+	min = make([]float64, n)
+	max = make([]float64, n)
+	copy(min, runs[0])
+	copy(max, runs[0])
+	for _, r := range runs {
+		for b, v := range r {
+			mean[b] += v
+			if v < min[b] {
+				min[b] = v
+			}
+			if v > max[b] {
+				max[b] = v
+			}
+		}
+	}
+	for b := range mean {
+		mean[b] /= float64(len(runs))
+	}
+	return mean, min, max
+}
+
+// Figure13Row is one cache-set-count configuration's outcome.
+type Figure13Row struct {
+	Sets      int
+	PeakLag   int
+	PeakValue float64
+	Detected  bool
+	BitErrors int
+	// Autocorrelogram for rendering.
+	Autocorrelogram []float64
+}
+
+// Figure13Result is the varying-set-count study.
+type Figure13Result struct {
+	Rows []Figure13Row
+}
+
+// Figure13 reproduces the cache channel with 64, 128 and 256 sets:
+// the autocorrelogram stays strongly periodic (peaks ≈0.95) and the
+// fundamental lag tracks the number of sets, biased slightly upward by
+// random conflict misses.
+func Figure13(o Options) Figure13Result {
+	o = o.norm()
+	var out Figure13Result
+	for _, sets := range []int{64, 128, 256} {
+		res := run(cchunter.Scenario{
+			Channel:       cchunter.ChannelSharedCache,
+			BandwidthBPS:  o.cacheBPS(100),
+			Message:       cchunter.RandomMessage(min(o.MessageBits, 32), o.Seed),
+			CacheSets:     sets,
+			QuantumCycles: o.cacheQuantum(),
+			Seed:          o.Seed,
+		})
+		row := Figure13Row{Sets: sets, BitErrors: res.BitErrors}
+		if osc := res.Report.Oscillation; osc != nil {
+			row.PeakLag = osc.Best.FundamentalLag
+			row.PeakValue = osc.Best.PeakValue
+			row.Detected = osc.Detected
+			row.Autocorrelogram = osc.Best.Autocorrelogram
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Figure14Row is one benign pair's outcome.
+type Figure14Row struct {
+	// Pair names the two programs run as hyperthread siblings.
+	Pair [2]string
+	// BusHist and DivHist are the indicator event density histograms.
+	BusHist, DivHist *stats.Histogram
+	// BusLR and DivLR are the likelihood ratios (expected < 0.5).
+	BusLR, DivLR float64
+	// PeakValue is the strongest cache autocorrelation seen.
+	PeakValue float64
+	// Autocorrelogram of the strongest window, for rendering.
+	Autocorrelogram []float64
+	// FalseAlarm reports whether any resource raised a detection.
+	FalseAlarm bool
+}
+
+// Figure14Result is the false-alarm study.
+type Figure14Result struct {
+	Rows []Figure14Row
+	// FalseAlarms counts rows that alarmed (the paper reports zero).
+	FalseAlarms int
+}
+
+// Figure14Pairs are the paper's representative benign pairs.
+func Figure14Pairs() [][2]string {
+	return [][2]string{
+		{"gobmk", "sjeng"},
+		{"bzip2", "h264ref"},
+		{"stream", "stream"},
+		{"mailserver", "mailserver"},
+		{"webserver", "webserver"},
+	}
+}
+
+// Figure14 reproduces the false-alarm test: benign pairs sharing a
+// physical core must not trigger either detector, even though some
+// (mailserver) show real second distributions — their likelihood
+// ratios stay below 0.5 — and some (webserver) show brief periodicity
+// that dies out.
+func Figure14(o Options, quanta int) Figure14Result {
+	o = o.norm()
+	if quanta <= 0 {
+		quanta = 64
+	}
+	var out Figure14Result
+	for i, pair := range Figure14Pairs() {
+		res := run(cchunter.Scenario{
+			Channel:        cchunter.ChannelNone,
+			Workloads:      []string{pair[0], pair[1]},
+			DurationQuanta: quanta,
+			QuantumCycles:  o.quantum(),
+			Seed:           o.Seed + uint64(i),
+		})
+		row := Figure14Row{Pair: pair, BusHist: res.BusHistogram, DivHist: res.DivHistogram}
+		for _, v := range res.Report.Contention {
+			switch v.Kind {
+			case cchunter.EventBusLock:
+				row.BusLR = v.Analysis.LikelihoodRatio
+			case cchunter.EventDivContention:
+				row.DivLR = v.Analysis.LikelihoodRatio
+			}
+		}
+		if osc := res.Report.Oscillation; osc != nil {
+			row.PeakValue = osc.Best.PeakValue
+			row.Autocorrelogram = osc.Best.Autocorrelogram
+		}
+		row.FalseAlarm = res.Report.Detected
+		if row.FalseAlarm {
+			out.FalseAlarms++
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,206 @@
+// Package mitigate implements the damage-control strategies the paper
+// positions as CC-Hunter's complement (§I: after detection, "adopting
+// damage control strategies like limiting resource sharing or
+// bandwidth reduction"). Three mitigations cover the three channel
+// media:
+//
+//   - BusLockLimiter: rate-limits atomic unaligned accesses per
+//     context (the ancestor of modern split-lock detection): a context
+//     that locks the bus too often gets exponentially penalized,
+//     collapsing the bus channel's usable bandwidth.
+//   - CachePartition: way-partitions the shared cache between context
+//     groups (the Partition-Locking idea of Wang & Lee [16]): contexts
+//     can no longer evict each other's blocks, so prime/probe carries
+//     no signal.
+//   - ClockFuzz: quantizes and jitters the latencies programs observe
+//     (Hu's fuzzy time [3]): the spy's decoding margin drowns in
+//     measurement noise while the architectural timing is unchanged.
+//
+// Mitigations are policies the OS/hypervisor applies after CC-Hunter
+// raises an alarm; the simulator accepts them through sim.Config.
+package mitigate
+
+import "cchunter/internal/stats"
+
+// BusLockLimiter penalizes contexts that issue bus locks at covert-
+// channel rates.
+type BusLockLimiter struct {
+	// WindowCycles is the rate-measurement window.
+	WindowCycles uint64
+	// MaxLocks is the number of locks allowed per window before
+	// penalties kick in.
+	MaxLocks int
+	// PenaltyCycles is added to each lock beyond the allowance (a
+	// trap into the OS on real split-lock detection hardware).
+	PenaltyCycles uint64
+
+	lastWindow []uint64
+	counts     []int
+}
+
+// NewBusLockLimiter returns a limiter for the given context count.
+func NewBusLockLimiter(contexts int, windowCycles uint64, maxLocks int, penalty uint64) *BusLockLimiter {
+	if contexts <= 0 || windowCycles == 0 || maxLocks < 0 {
+		panic("mitigate: bad limiter parameters")
+	}
+	return &BusLockLimiter{
+		WindowCycles:  windowCycles,
+		MaxLocks:      maxLocks,
+		PenaltyCycles: penalty,
+		lastWindow:    make([]uint64, contexts),
+		counts:        make([]int, contexts),
+	}
+}
+
+// Penalty reports the extra cycles to charge a bus lock issued by ctx
+// at the given cycle.
+func (l *BusLockLimiter) Penalty(now uint64, ctx uint8) uint64 {
+	w := now / l.WindowCycles
+	if w != l.lastWindow[ctx] {
+		l.lastWindow[ctx] = w
+		l.counts[ctx] = 0
+	}
+	l.counts[ctx]++
+	if l.counts[ctx] <= l.MaxLocks {
+		return 0
+	}
+	return l.PenaltyCycles
+}
+
+// CachePartition confines each context to a slice of the cache's ways.
+type CachePartition struct {
+	// Groups maps a context ID to its partition group; contexts in
+	// different groups never share ways.
+	Groups []int
+	// NumGroups is the partition count; ways are divided evenly.
+	NumGroups int
+}
+
+// NewCachePartition builds a per-context partition: by default every
+// context gets its own group when groups is nil.
+func NewCachePartition(contexts int, groups []int) *CachePartition {
+	if groups == nil {
+		groups = make([]int, contexts)
+		for i := range groups {
+			groups[i] = i
+		}
+	}
+	max := 0
+	for _, g := range groups {
+		if g < 0 {
+			panic("mitigate: negative partition group")
+		}
+		if g > max {
+			max = g
+		}
+	}
+	return &CachePartition{Groups: groups, NumGroups: max + 1}
+}
+
+// WayRange returns the [lo, hi) way interval context ctx may allocate
+// into, for a cache with the given associativity. Every context keeps
+// at least one way.
+func (p *CachePartition) WayRange(ctx uint8, ways int) (lo, hi int) {
+	if int(ctx) >= len(p.Groups) {
+		return 0, ways
+	}
+	g := p.Groups[ctx]
+	per := ways / p.NumGroups
+	if per < 1 {
+		per = 1
+	}
+	lo = (g * per) % ways
+	hi = lo + per
+	if hi > ways {
+		hi = ways
+	}
+	return lo, hi
+}
+
+// DividerTDM time-multiplexes a core's division units between its
+// hyperthreads: each context may only issue divisions during its own
+// epochs ("limiting resource sharing", §I). Cross-context divider
+// contention becomes impossible, so the divider channel carries no
+// signal — at the cost of divide latency for everyone on that core.
+type DividerTDM struct {
+	// EpochCycles is the length of one exclusive epoch.
+	EpochCycles uint64
+}
+
+// NewDividerTDM builds the temporal partitioner.
+func NewDividerTDM(epochCycles uint64) *DividerTDM {
+	if epochCycles == 0 {
+		panic("mitigate: epoch must be positive")
+	}
+	return &DividerTDM{EpochCycles: epochCycles}
+}
+
+// NextSlot returns the earliest cycle at or after now at which the
+// given hyperthread (thread index within its core) may issue a
+// division that completes within its own epoch, for a core with the
+// given thread count. need is the operation's duration; requiring the
+// operation to fit keeps one epoch's work from occupying the divider
+// into the next thread's epoch (which would leak timing again).
+func (t *DividerTDM) NextSlot(now uint64, thread, threadsPerCore int, need uint64) uint64 {
+	if threadsPerCore <= 1 {
+		return now
+	}
+	if need > t.EpochCycles {
+		need = t.EpochCycles // degenerate: allow at epoch start
+	}
+	period := t.EpochCycles * uint64(threadsPerCore)
+	phase := now % period
+	lo := uint64(thread) * t.EpochCycles
+	hi := lo + t.EpochCycles
+	switch {
+	case phase >= lo && phase+need <= hi:
+		return now
+	case phase < lo:
+		return now + (lo - phase)
+	default:
+		return now + (period - phase) + lo
+	}
+}
+
+// ClockFuzz degrades the timing observable programs see, without
+// changing architectural timing. Note its limits: a spy that
+// integrates many samples per bit defeats unbiased per-read noise
+// (quantized deltas telescope), so fuzzing only squeezes channel
+// bandwidth down to roughly the fuzz granularity — the paper's own
+// §VII criticism of the approach. The simulator includes it for
+// completeness; the mitigation study uses DividerTDM for the SMT
+// channel instead.
+type ClockFuzz struct {
+	// QuantumCycles rounds every reported latency down to a multiple
+	// of this value (clock-edge granularity).
+	QuantumCycles uint64
+	// JitterCycles adds a deterministic pseudo-random jitter in
+	// [0, JitterCycles) to every reported latency.
+	JitterCycles uint64
+
+	rng *stats.RNG
+}
+
+// NewClockFuzz builds a fuzzer; seed makes the jitter reproducible.
+func NewClockFuzz(quantum, jitter uint64, seed uint64) *ClockFuzz {
+	if quantum == 0 {
+		quantum = 1
+	}
+	return &ClockFuzz{QuantumCycles: quantum, JitterCycles: jitter, rng: stats.NewRNG(seed)}
+}
+
+// Observe transforms a true latency into the value the program sees.
+func (f *ClockFuzz) Observe(latency uint64) uint64 {
+	v := latency / f.QuantumCycles * f.QuantumCycles
+	if f.JitterCycles > 0 {
+		v += uint64(f.rng.Intn(int(f.JitterCycles)))
+	}
+	return v
+}
+
+// ObserveClock transforms an absolute clock read: fuzzy time quantizes
+// every timer the program can see. No jitter is added so program-
+// visible time stays monotonic.
+func (f *ClockFuzz) ObserveClock(t uint64) uint64 {
+	return t / f.QuantumCycles * f.QuantumCycles
+}

@@ -1,0 +1,179 @@
+package mitigate
+
+import "testing"
+
+func TestBusLockLimiterAllowance(t *testing.T) {
+	l := NewBusLockLimiter(8, 1000, 2, 50_000)
+	if l.Penalty(10, 0) != 0 || l.Penalty(20, 0) != 0 {
+		t.Error("within allowance should be free")
+	}
+	if l.Penalty(30, 0) != 50_000 {
+		t.Error("third lock in window should be penalized")
+	}
+	// New window resets the count.
+	if l.Penalty(1500, 0) != 0 {
+		t.Error("new window should reset allowance")
+	}
+	// Contexts are tracked independently.
+	if l.Penalty(40, 1) != 0 {
+		t.Error("other context has its own allowance")
+	}
+}
+
+func TestBusLockLimiterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBusLockLimiter(0, 1000, 2, 1)
+}
+
+func TestCachePartitionIdentity(t *testing.T) {
+	p := NewCachePartition(8, nil)
+	if p.NumGroups != 8 {
+		t.Fatalf("groups = %d", p.NumGroups)
+	}
+	seen := map[int]bool{}
+	for ctx := uint8(0); ctx < 8; ctx++ {
+		lo, hi := p.WayRange(ctx, 8)
+		if hi-lo != 1 {
+			t.Errorf("ctx %d gets %d ways, want 1", ctx, hi-lo)
+		}
+		if seen[lo] {
+			t.Errorf("way %d assigned twice", lo)
+		}
+		seen[lo] = true
+	}
+}
+
+func TestCachePartitionGroups(t *testing.T) {
+	p := NewCachePartition(4, []int{0, 0, 1, 1})
+	lo0, hi0 := p.WayRange(0, 8)
+	lo1, hi1 := p.WayRange(1, 8)
+	if lo0 != lo1 || hi0 != hi1 {
+		t.Error("same group should share a range")
+	}
+	lo2, _ := p.WayRange(2, 8)
+	if lo2 == lo0 {
+		t.Error("different groups must not overlap")
+	}
+	// Out-of-range context gets the whole cache (fail open).
+	lo, hi := p.WayRange(7, 8)
+	if lo != 0 || hi != 8 {
+		t.Error("unknown context should be unrestricted")
+	}
+	// More groups than ways: everyone keeps at least one way.
+	many := NewCachePartition(16, nil)
+	for ctx := uint8(0); ctx < 16; ctx++ {
+		lo, hi := many.WayRange(ctx, 8)
+		if hi-lo < 1 || lo < 0 || hi > 8 {
+			t.Errorf("ctx %d range [%d,%d)", ctx, lo, hi)
+		}
+	}
+}
+
+func TestCachePartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCachePartition(2, []int{0, -1})
+}
+
+func TestDividerTDMSlots(t *testing.T) {
+	tdm := NewDividerTDM(1000)
+	// Thread 0 owns [0,1000), thread 1 owns [1000,2000), period 2000.
+	if got := tdm.NextSlot(500, 0, 2, 5); got != 500 {
+		t.Errorf("in-epoch = %d", got)
+	}
+	if got := tdm.NextSlot(500, 1, 2, 5); got != 1000 {
+		t.Errorf("wait for epoch = %d", got)
+	}
+	if got := tdm.NextSlot(1500, 0, 2, 5); got != 2000 {
+		t.Errorf("wrap to next period = %d", got)
+	}
+	if got := tdm.NextSlot(1500, 1, 2, 5); got != 1500 {
+		t.Errorf("thread 1 in-epoch = %d", got)
+	}
+	// A division that would spill past the epoch end waits for the
+	// thread's next epoch.
+	if got := tdm.NextSlot(998, 0, 2, 5); got != 2000 {
+		t.Errorf("spill should defer to next epoch, got %d", got)
+	}
+	// Oversized operations are allowed from the epoch start.
+	if got := tdm.NextSlot(2000, 0, 2, 5000); got != 2000 {
+		t.Errorf("oversized op = %d", got)
+	}
+	// Single-threaded cores are unrestricted.
+	if got := tdm.NextSlot(123, 0, 1, 5); got != 123 {
+		t.Errorf("single thread = %d", got)
+	}
+}
+
+func TestDividerTDMNeverInPast(t *testing.T) {
+	tdm := NewDividerTDM(777)
+	for now := uint64(0); now < 10_000; now += 13 {
+		for thread := 0; thread < 2; thread++ {
+			got := tdm.NextSlot(now, thread, 2, 5)
+			if got < now {
+				t.Fatalf("slot %d before now %d", got, now)
+			}
+			// The returned cycle must be inside the thread's epoch.
+			phase := got % (777 * 2)
+			lo := uint64(thread) * 777
+			if phase < lo || phase >= lo+777 {
+				t.Fatalf("slot %d (phase %d) outside thread %d epoch", got, phase, thread)
+			}
+		}
+	}
+}
+
+func TestDividerTDMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDividerTDM(0)
+}
+
+func TestClockFuzzQuantization(t *testing.T) {
+	f := NewClockFuzz(500, 0, 1)
+	if f.Observe(499) != 0 || f.Observe(500) != 500 || f.Observe(1234) != 1000 {
+		t.Error("quantization wrong")
+	}
+	if f.ObserveClock(1499) != 1000 {
+		t.Error("clock quantization wrong")
+	}
+}
+
+func TestClockFuzzJitterBounded(t *testing.T) {
+	f := NewClockFuzz(100, 50, 3)
+	for i := 0; i < 1000; i++ {
+		v := f.Observe(1000)
+		if v < 1000 || v >= 1050 {
+			t.Fatalf("jittered value %d out of [1000, 1050)", v)
+		}
+	}
+}
+
+func TestClockFuzzMonotoneClock(t *testing.T) {
+	f := NewClockFuzz(250, 100, 5)
+	prev := uint64(0)
+	for tm := uint64(0); tm < 10_000; tm += 7 {
+		v := f.ObserveClock(tm)
+		if v < prev {
+			t.Fatalf("clock went backwards: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestClockFuzzZeroQuantum(t *testing.T) {
+	f := NewClockFuzz(0, 0, 1)
+	if f.Observe(123) != 123 {
+		t.Error("zero quantum should default to identity")
+	}
+}

@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"cchunter/internal/cache"
+	"cchunter/internal/conflict"
+	"cchunter/internal/trace"
+)
+
+// Run advances the simulation until every context's clock reaches the
+// absolute cycle `until` (or all processes finish). It may be called
+// repeatedly with increasing targets; state carries over. Determinism:
+// the engine always executes the pending operation of the context with
+// the smallest clock, breaking ties by context ID.
+func (s *System) Run(until uint64) {
+	if s.closed {
+		panic("sim: Run after Close")
+	}
+	s.started = true
+	defer s.quiesce()
+	for {
+		c := s.pickContext()
+		if c == nil || c.clock >= until {
+			return
+		}
+		p := c.runq[0]
+		if !p.started {
+			s.startProc(p)
+		}
+		if p.done {
+			s.reapProc(c, p)
+			continue
+		}
+		if p.pending == nil {
+			req, ok := <-p.reqCh
+			if !ok {
+				p.done = true
+				s.reapProc(c, p)
+				continue
+			}
+			p.pending = &req
+		}
+		if c.clock >= c.quantumEnd {
+			s.quantumBoundary(c)
+			continue // placement may have changed; re-pick
+		}
+		req := *p.pending
+		p.pending = nil
+		s.execute(c, p, req)
+	}
+}
+
+// quiesce parks every running program goroutine: each one is either
+// finished or blocked waiting for its next response, so the caller can
+// safely read program state (decoded bits, latency series) without
+// racing a goroutine that was still executing between operations.
+func (s *System) quiesce() {
+	for _, p := range s.procs {
+		if !p.started || p.done || p.pending != nil {
+			continue
+		}
+		req, ok := <-p.reqCh
+		if !ok {
+			p.done = true
+			if p.ctx != nil {
+				s.reapProc(p.ctx, p)
+			}
+			continue
+		}
+		p.pending = &req
+	}
+}
+
+// pickContext returns the non-idle context with the smallest clock.
+func (s *System) pickContext() *hwContext {
+	var best *hwContext
+	for _, c := range s.contexts {
+		if len(c.runq) == 0 {
+			continue
+		}
+		if best == nil || c.clock < best.clock {
+			best = c
+		}
+	}
+	return best
+}
+
+func (s *System) startProc(p *Process) {
+	p.started = true
+	go func() {
+		defer close(p.reqCh)
+		defer func() {
+			if r := recover(); r != nil && r != errStopped {
+				panic(r)
+			}
+		}()
+		p.prog.Run(p.machine)
+	}()
+}
+
+// reapProc removes a finished process from its context's run queue.
+func (s *System) reapProc(c *hwContext, p *Process) {
+	for i, q := range c.runq {
+		if q == p {
+			c.runq = append(c.runq[:i], c.runq[i+1:]...)
+			break
+		}
+	}
+}
+
+// quantumBoundary handles an OS timer tick on context c: rotate the
+// run queue (charging a context-switch cost when a different process
+// comes in) and, with MigrationProb, migrate the outgoing unpinned
+// process to the least-loaded other context.
+func (s *System) quantumBoundary(c *hwContext) {
+	for c.quantumEnd <= c.clock {
+		c.quantumEnd += s.cfg.QuantumCycles
+	}
+	if len(c.runq) == 0 {
+		return
+	}
+	cur := c.runq[0]
+	if s.cfg.MigrationProb > 0 && cur.pinned < 0 && len(s.contexts) > 1 &&
+		s.rng.Float64() < s.cfg.MigrationProb {
+		var target *hwContext
+		for _, o := range s.contexts {
+			if o == c {
+				continue
+			}
+			if target == nil || len(o.runq) < len(target.runq) {
+				target = o
+			}
+		}
+		c.runq = c.runq[1:]
+		// The process resumes once the target context's clock catches
+		// up; its clock never runs backwards because the engine always
+		// executes the globally smallest clock first.
+		if target.clock < c.clock {
+			target.clock = c.clock
+		}
+		target.runq = append(target.runq, cur)
+		cur.ctx = target
+		s.migrations++
+		return
+	}
+	if len(c.runq) > 1 {
+		c.runq = append(c.runq[1:], cur)
+		c.clock += s.cfg.CtxSwitchCycles
+		s.switches++
+	}
+}
+
+// execute performs one operation for process p on context c at the
+// context's current clock and replies to the program. Indicator events
+// are stamped at the issue cycle, which equals the global minimum
+// clock, keeping the event stream time-ordered.
+func (s *System) execute(c *hwContext, p *Process, req request) {
+	t0 := c.clock
+	var latency uint64
+	switch req.kind {
+	case opCompute:
+		latency = req.cycles
+	case opNow:
+		latency = 0
+	case opWaitUntil:
+		if req.cycles > c.clock {
+			latency = req.cycles - c.clock
+		}
+	case opLoad, opStore:
+		latency = s.memAccess(c, req.addr, t0, t0)
+	case opLoadN:
+		for _, a := range req.addrs {
+			latency += s.memAccess(c, a, t0+latency, t0)
+		}
+	case opAtomicUnaligned:
+		start := t0
+		if lim := s.cfg.Mitigations.BusLimiter; lim != nil {
+			start += lim.Penalty(t0, c.id)
+		}
+		done, _ := s.bus.LockAccess(start, c.id)
+		latency = done - t0
+	case opDiv:
+		start := s.dividerSlot(c, t0)
+		done, _ := c.core.div.DivideStamped(start, t0, c.id)
+		latency = done - t0
+	case opDivN:
+		cursor := t0
+		for i := 0; i < req.count; i++ {
+			cursor = s.dividerSlot(c, cursor)
+			cursor, _ = c.core.div.DivideStamped(cursor, t0, c.id)
+		}
+		latency = cursor - t0
+	default:
+		panic("sim: unknown op")
+	}
+	c.clock = t0 + latency
+	observedLat := latency
+	observedNow := c.clock
+	if f := s.cfg.Mitigations.Fuzz; f != nil {
+		// Fuzzy time: every measurement the program can make — op
+		// latencies and clock reads — is degraded; the architectural
+		// clock is not.
+		switch req.kind {
+		case opLoad, opStore, opLoadN, opAtomicUnaligned, opDiv, opDivN:
+			observedLat = f.Observe(latency)
+		}
+		observedNow = f.ObserveClock(c.clock)
+	}
+	p.respCh <- response{now: observedNow, latency: observedLat}
+}
+
+// dividerSlot applies the divider time-multiplexing mitigation: the
+// earliest cycle at or after now when this context may divide.
+func (s *System) dividerSlot(c *hwContext, now uint64) uint64 {
+	tdm := s.cfg.Mitigations.DividerTDM
+	if tdm == nil {
+		return now
+	}
+	thread := int(c.id) % s.cfg.ThreadsPerCore
+	return tdm.NextSlot(now, thread, s.cfg.ThreadsPerCore, c.core.div.Config().DivCycles)
+}
+
+// memAccess runs one load/store through the core's hierarchy: L1, the
+// hyperthread-shared L2 with its conflict-miss tracker, then the
+// shared bus and memory. It returns the total latency. `now` is the
+// access's timing start; `stamp` is the cycle any emitted event is
+// stamped with (the issue cycle of the enclosing request, which keeps
+// the global event stream time-ordered across batched accesses).
+func (s *System) memAccess(c *hwContext, addr uint64, now, stamp uint64) uint64 {
+	co := c.core
+	l1 := co.l1.Access(addr, c.id)
+	lat := co.l1.HitLatency()
+	if l1.Hit {
+		return lat
+	}
+	var l2 cache.Result
+	if part := s.cfg.Mitigations.Partition; part != nil {
+		lo, hi := part.WayRange(c.id, s.l2.Ways())
+		l2 = s.l2.AccessInWays(addr, c.id, lo, hi)
+	} else {
+		l2 = s.l2.Access(addr, c.id)
+	}
+	lat += s.l2.HitLatency()
+	if l2.Evicted {
+		// Inclusive hierarchy: an L2 eviction back-invalidates every
+		// core's L1 copy.
+		for _, other := range s.cores {
+			other.l1.InvalidateLine(l2.EvictedLine)
+		}
+	}
+	isConflict := s.tracker.Observe(conflict.Observation{
+		LineAddr:     l2.LineAddr,
+		Set:          l2.Set,
+		Ctx:          c.id,
+		Hit:          l2.Hit,
+		Evicted:      l2.Evicted,
+		EvictedLine:  l2.EvictedLine,
+		EvictedOwner: l2.EvictedOwner,
+	})
+	if isConflict {
+		victim := trace.NoContext
+		if l2.Evicted {
+			victim = l2.EvictedOwner
+		}
+		s.listeners.OnEvent(trace.Event{
+			Cycle:  stamp,
+			Kind:   trace.KindConflictMiss,
+			Actor:  c.id,
+			Victim: victim,
+			Unit:   l2.Set,
+		})
+	}
+	if l2.Hit {
+		return lat
+	}
+	busStart := now + lat
+	done, _ := s.bus.Access(busStart, c.id)
+	return (done - now) + s.cfg.MemCycles
+}
+
+// Close tears down all still-running program goroutines. The system
+// cannot be used afterwards.
+func (s *System) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, p := range s.procs {
+		if !p.started || p.done {
+			continue
+		}
+		if p.pending == nil {
+			req, ok := <-p.reqCh
+			if !ok {
+				p.done = true
+				continue
+			}
+			p.pending = &req
+		}
+		p.pending = nil
+		p.respCh <- response{stop: true}
+		for range p.reqCh {
+			// drain until the goroutine closes the channel
+		}
+		p.done = true
+	}
+}

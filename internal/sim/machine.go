@@ -1,0 +1,177 @@
+package sim
+
+import "errors"
+
+// Program is the code a software process runs. Run executes on its own
+// goroutine but only ever makes progress while the engine has resumed
+// it, so implementations need no synchronization. Run returns when the
+// program is finished; infinite server loops simply never return and
+// are torn down by System.Close.
+//
+// Programs must not recover panics they did not raise: the engine
+// stops programs by panicking through their stack with a sentinel.
+type Program interface {
+	// Name labels the process for reporting.
+	Name() string
+	// Run executes the program against the machine handle.
+	Run(m *Machine)
+}
+
+// errStopped is panicked through a program's stack when the engine
+// tears it down.
+var errStopped = errors.New("sim: program stopped")
+
+// programFunc adapts a function to the Program interface.
+type programFunc struct {
+	name string
+	fn   func(m *Machine)
+}
+
+// NewProgram wraps a function as a named Program, convenient for tests
+// and small workloads.
+func NewProgram(name string, fn func(m *Machine)) Program {
+	return &programFunc{name: name, fn: fn}
+}
+
+func (p *programFunc) Name() string   { return p.name }
+func (p *programFunc) Run(m *Machine) { p.fn(m) }
+
+type opKind uint8
+
+const (
+	opCompute opKind = iota
+	opLoad
+	opStore
+	opLoadN
+	opAtomicUnaligned
+	opDiv
+	opDivN
+	opNow
+	opWaitUntil
+)
+
+type request struct {
+	kind   opKind
+	addr   uint64
+	addrs  []uint64 // opLoadN
+	cycles uint64   // opCompute amount / opWaitUntil target
+	count  int      // opDivN count
+}
+
+type response struct {
+	now     uint64 // context clock after the op
+	latency uint64 // cycles the op took from issue to completion
+	stop    bool   // engine is tearing the program down
+}
+
+// Machine is a program's handle onto its hardware context. All methods
+// block the calling program until the engine has executed the
+// operation; latencies are simulated cycles, never wall-clock time.
+type Machine struct {
+	proc *Process
+	geo  Geometry
+}
+
+func (m *Machine) do(r request) response {
+	p := m.proc
+	p.reqCh <- r
+	resp := <-p.respCh
+	if resp.stop {
+		panic(errStopped)
+	}
+	return resp
+}
+
+// Compute spends the given number of cycles of pure computation.
+func (m *Machine) Compute(cycles uint64) {
+	m.do(request{kind: opCompute, cycles: cycles})
+}
+
+// Load reads addr through the cache hierarchy and returns the access
+// latency in cycles — the observable that covert-channel receivers
+// decode bits from.
+func (m *Machine) Load(addr uint64) uint64 {
+	return m.do(request{kind: opLoad, addr: addr}).latency
+}
+
+// Store writes addr through the cache hierarchy (modelled identically
+// to Load: write-allocate) and returns the latency.
+func (m *Machine) Store(addr uint64) uint64 {
+	return m.do(request{kind: opStore, addr: addr}).latency
+}
+
+// LoadN performs the loads back-to-back in one engine round and
+// returns the total latency. It exists so that high-event-rate
+// programs (streaming workloads, cache priming loops) don't pay one
+// engine handshake per access; within a batch other contexts do not
+// interleave, so keep batches to the natural run lengths of the
+// modelled code.
+func (m *Machine) LoadN(addrs []uint64) uint64 {
+	if len(addrs) == 0 {
+		return 0
+	}
+	return m.do(request{kind: opLoadN, addrs: addrs}).latency
+}
+
+// AtomicUnaligned performs an atomic access spanning two cache lines
+// at addr, locking the memory bus (the bus covert channel's
+// transmitter primitive). It returns the latency.
+func (m *Machine) AtomicUnaligned(addr uint64) uint64 {
+	return m.do(request{kind: opAtomicUnaligned, addr: addr}).latency
+}
+
+// Div issues one integer division and returns its latency, including
+// any wait on a busy divider.
+func (m *Machine) Div() uint64 {
+	return m.do(request{kind: opDiv}).latency
+}
+
+// DivN issues n back-to-back divisions in one engine round and returns
+// the total latency. The same batching caveat as LoadN applies.
+func (m *Machine) DivN(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return m.do(request{kind: opDivN, count: n}).latency
+}
+
+// Now returns the context's current cycle.
+func (m *Machine) Now() uint64 {
+	return m.do(request{kind: opNow}).now
+}
+
+// WaitUntil sleeps until the given absolute cycle (a no-op when it is
+// already past) and returns the clock afterwards. Channel programs use
+// it to pace bit slots; workload models use it to pace request
+// arrivals.
+func (m *Machine) WaitUntil(cycle uint64) uint64 {
+	return m.do(request{kind: opWaitUntil, cycles: cycle}).now
+}
+
+// Sleep advances the clock by d cycles without touching any shared
+// resource.
+func (m *Machine) Sleep(d uint64) uint64 {
+	now := m.Now()
+	return m.WaitUntil(now + d)
+}
+
+// Geometry returns the static machine description.
+func (m *Machine) Geometry() Geometry { return m.geo }
+
+// PID returns the process's unique identifier.
+func (m *Machine) PID() int { return m.proc.id }
+
+// PrivateAddr maps a process-local line index to an address that no
+// other process aliases (distinct tag space), while leaving the cache
+// set index fully under the program's control via the low bits.
+func (m *Machine) PrivateAddr(lineIndex uint64) uint64 {
+	return (uint64(m.proc.id+1)<<44 | lineIndex) << 6
+}
+
+// L2AddrForSet builds an address mapping to the given L2 set, with way
+// selecting distinct conflicting lines, in this process's private tag
+// space. Covert-channel and workload code uses it to build eviction
+// sets.
+func (m *Machine) L2AddrForSet(set uint32, way int) uint64 {
+	return m.proc.sys.l2.AddrForSet(set, way, uint64(m.proc.id+1))
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+
+	"cchunter/internal/mitigate"
+	"cchunter/internal/trace"
+)
+
+func TestBusLimiterSlowsLockStorms(t *testing.T) {
+	run := func(withLimiter bool) uint64 {
+		cfg := TestConfig()
+		if withLimiter {
+			cfg.Mitigations.BusLimiter = mitigate.NewBusLockLimiter(cfg.Contexts(), 100_000, 2, 200_000)
+		}
+		s := New(cfg)
+		defer s.Close()
+		var end uint64
+		s.Spawn(NewProgram("storm", func(m *Machine) {
+			for i := 0; i < 50; i++ {
+				m.AtomicUnaligned(0)
+			}
+			end = m.Now()
+		}))
+		s.Run(100_000_000)
+		return end
+	}
+	free := run(false)
+	limited := run(true)
+	if limited < 10*free {
+		t.Errorf("limiter barely slowed the storm: %d vs %d cycles", limited, free)
+	}
+}
+
+func TestPartitionPreventsCrossContextEviction(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Mitigations.Partition = mitigate.NewCachePartition(cfg.Contexts(), nil)
+	s := New(cfg)
+	defer s.Close()
+	rec := trace.NewRecorder(trace.KindConflictMiss)
+	s.AddListener(rec)
+	const slot = 50_000
+	pingpong := func(phase uint64) func(m *Machine) {
+		return func(m *Machine) {
+			geo := m.Geometry()
+			for i := uint64(0); ; i++ {
+				m.WaitUntil((2*i + phase) * slot)
+				for set := uint32(0); set < 8; set++ {
+					for w := 0; w < geo.L2Ways; w++ {
+						m.Load(m.L2AddrForSet(set, w))
+					}
+				}
+			}
+		}
+	}
+	s.Spawn(NewProgram("t", pingpong(0)), Pin(0))
+	s.Spawn(NewProgram("s", pingpong(1)), Pin(1))
+	s.Run(3_000_000)
+	for _, e := range rec.Train().Events() {
+		if e.Victim != trace.NoContext && e.Victim != e.Actor {
+			t.Fatalf("cross-context eviction under partitioning: %+v", e)
+		}
+	}
+}
+
+func TestDividerTDMEliminatesContention(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Mitigations.DividerTDM = mitigate.NewDividerTDM(10_000)
+	s := New(cfg)
+	defer s.Close()
+	rec := trace.NewRecorder(trace.KindDivContention)
+	s.AddListener(rec)
+	hammer := func(m *Machine) {
+		for {
+			m.Div()
+		}
+	}
+	s.Spawn(NewProgram("a", hammer), Pin(0))
+	s.Spawn(NewProgram("b", hammer), Pin(1))
+	s.Run(500_000)
+	if n := rec.Train().Len(); n != 0 {
+		t.Errorf("TDM left %d contention events", n)
+	}
+}
+
+func TestClockFuzzDegradesObservations(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Mitigations.Fuzz = mitigate.NewClockFuzz(1000, 0, 1)
+	s := New(cfg)
+	defer s.Close()
+	var lat, now1, now2 uint64
+	s.Spawn(NewProgram("p", func(m *Machine) {
+		lat = m.Load(m.PrivateAddr(1)) // true ~226, quantized to 0
+		now1 = m.Now()
+		m.Compute(100)
+		now2 = m.Now()
+	}))
+	s.Run(1_000_000)
+	if lat%1000 != 0 {
+		t.Errorf("latency %d not quantized", lat)
+	}
+	if now1%1000 != 0 || now2%1000 != 0 {
+		t.Errorf("clock reads %d, %d not quantized", now1, now2)
+	}
+	if now2 < now1 {
+		t.Error("fuzzed clock went backwards")
+	}
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"fmt"
+
+	"cchunter/internal/bus"
+	"cchunter/internal/cache"
+	"cchunter/internal/conflict"
+	"cchunter/internal/divider"
+	"cchunter/internal/stats"
+	"cchunter/internal/trace"
+)
+
+// Process is one software process known to the simulated OS.
+type Process struct {
+	id      int
+	name    string
+	prog    Program
+	pinned  int // hardware context ID, or -1 when free to migrate
+	sys     *System
+	machine *Machine
+
+	reqCh   chan request
+	respCh  chan response
+	pending *request
+	started bool
+	done    bool
+
+	ctx *hwContext // context the process is currently queued on
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() int { return p.id }
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Done reports whether the program has returned.
+func (p *Process) Done() bool { return p.done }
+
+// core bundles the per-core hardware.
+type core struct {
+	id  int
+	l1  *cache.Cache
+	div *divider.Bank
+}
+
+// hwContext is one SMT hardware context.
+type hwContext struct {
+	id         uint8
+	core       *core
+	clock      uint64
+	quantumEnd uint64
+	runq       []*Process // runq[0] is the currently scheduled process
+}
+
+// System is the simulated machine plus its OS layer.
+type System struct {
+	cfg       Config
+	cores     []*core
+	contexts  []*hwContext
+	l2        *cache.Cache
+	tracker   conflict.Tracker
+	bus       *bus.Bus
+	listeners trace.Tee
+	procs     []*Process
+	rng       *stats.RNG
+	started   bool
+	closed    bool
+
+	migrations uint64
+	switches   uint64
+}
+
+// New builds a system from cfg. Listeners registered later receive
+// every indicator event the hardware emits.
+func New(cfg Config) *System {
+	if cfg.Cores <= 0 || cfg.ThreadsPerCore <= 0 {
+		panic("sim: need at least one core and one thread")
+	}
+	if cfg.QuantumCycles == 0 {
+		panic("sim: quantum must be positive")
+	}
+	s := &System{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+	s.bus = bus.New(cfg.Bus, &s.listeners)
+	s.l2 = cache.New(cfg.L2)
+	switch cfg.Tracker {
+	case TrackerIdeal:
+		s.tracker = conflict.NewIdeal(s.l2.NumBlocks())
+	default:
+		s.tracker = conflict.NewGenerational(conflict.GenerationalConfig{TotalBlocks: s.l2.NumBlocks()})
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		co := &core{
+			id:  c,
+			l1:  cache.New(cfg.L1),
+			div: divider.New(cfg.Div, &s.listeners),
+		}
+		s.cores = append(s.cores, co)
+		for t := 0; t < cfg.ThreadsPerCore; t++ {
+			s.contexts = append(s.contexts, &hwContext{
+				id:         uint8(c*cfg.ThreadsPerCore + t),
+				core:       co,
+				quantumEnd: cfg.QuantumCycles,
+			})
+		}
+	}
+	return s
+}
+
+// AddListener registers a hardware event listener (an auditor, a raw
+// recorder, ...). Must be called before Run.
+func (s *System) AddListener(l trace.Listener) {
+	s.listeners = append(s.listeners, l)
+}
+
+// SpawnOption adjusts process placement.
+type SpawnOption func(*Process)
+
+// Pin fixes the process to a hardware context; it will never migrate.
+// The divider and cache channels pin the trojan and spy onto the two
+// hyperthreads of one core, as in the paper.
+func Pin(contextID int) SpawnOption {
+	return func(p *Process) { p.pinned = contextID }
+}
+
+// Spawn registers a program as a software process. Unpinned processes
+// are placed on the least-loaded context (ties to the lowest ID).
+// Spawn must precede Run.
+func (s *System) Spawn(prog Program, opts ...SpawnOption) *Process {
+	if s.started {
+		panic("sim: Spawn after Run")
+	}
+	p := &Process{
+		id:     len(s.procs),
+		name:   prog.Name(),
+		prog:   prog,
+		pinned: -1,
+		sys:    s,
+		reqCh:  make(chan request),
+		respCh: make(chan response),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	var target *hwContext
+	if p.pinned >= 0 {
+		if p.pinned >= len(s.contexts) {
+			panic(fmt.Sprintf("sim: pin to context %d of %d", p.pinned, len(s.contexts)))
+		}
+		target = s.contexts[p.pinned]
+	} else {
+		// Prefer idle cores over idle sibling contexts, as a real
+		// scheduler spreads load before doubling up hyperthreads.
+		coreLoad := func(c *hwContext) int {
+			load := 0
+			for _, o := range s.contexts {
+				if o.core == c.core {
+					load += len(o.runq)
+				}
+			}
+			return load
+		}
+		target = s.contexts[0]
+		bestCore, bestCtx := coreLoad(target), len(target.runq)
+		for _, c := range s.contexts[1:] {
+			cl, xl := coreLoad(c), len(c.runq)
+			if cl < bestCore || (cl == bestCore && xl < bestCtx) {
+				target, bestCore, bestCtx = c, cl, xl
+			}
+		}
+	}
+	target.runq = append(target.runq, p)
+	p.ctx = target
+	p.machine = &Machine{proc: p, geo: s.Geometry()}
+	s.procs = append(s.procs, p)
+	return p
+}
+
+// Geometry returns the static machine description.
+func (s *System) Geometry() Geometry {
+	return Geometry{
+		Contexts:       len(s.contexts),
+		Cores:          s.cfg.Cores,
+		ThreadsPerCore: s.cfg.ThreadsPerCore,
+		ClockHz:        s.cfg.ClockHz,
+		QuantumCycles:  s.cfg.QuantumCycles,
+		LineBytes:      s.cfg.L2.LineBytes,
+		L1Sets:         s.cores[0].l1.NumSets(),
+		L1Ways:         s.cores[0].l1.Ways(),
+		L2Sets:         s.l2.NumSets(),
+		L2Ways:         s.l2.Ways(),
+		MemCycles:      s.cfg.MemCycles,
+	}
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Now returns the minimum clock across contexts that still have work,
+// i.e. the global simulated time.
+func (s *System) Now() uint64 {
+	var now uint64
+	first := true
+	for _, c := range s.contexts {
+		if len(c.runq) == 0 {
+			continue
+		}
+		if first || c.clock < now {
+			now = c.clock
+			first = false
+		}
+	}
+	return now
+}
+
+// Stats reports OS-level scheduling counters.
+type SchedStats struct {
+	ContextSwitches uint64
+	Migrations      uint64
+}
+
+// SchedStats returns scheduling counters.
+func (s *System) SchedStats() SchedStats {
+	return SchedStats{ContextSwitches: s.switches, Migrations: s.migrations}
+}
+
+// BusStats exposes the shared bus counters.
+func (s *System) BusStats() bus.Stats { return s.bus.Stats() }
+
+// CoreDividerStats exposes a core's divider counters.
+func (s *System) CoreDividerStats(core int) divider.Stats {
+	return s.cores[core].div.Stats()
+}
+
+// L2Stats exposes the shared L2's counters.
+func (s *System) L2Stats() cache.Stats {
+	return s.l2.Stats()
+}

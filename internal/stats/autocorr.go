@@ -1,0 +1,89 @@
+package stats
+
+// Autocorrelation implements the autocorrelation coefficient of §IV-D:
+//
+//	r_p = Σ_{i=1..n-p} (X_i - X̄)(X_{i+p} - X̄)  /  Σ_{i=1..n} (X_i - X̄)²
+//
+// for a single lag p. It returns 0 when the series is constant (zero
+// denominator) or when p is out of the usable range [0, len(xs)-1].
+func Autocorrelation(xs []float64, p int) float64 {
+	n := len(xs)
+	if p < 0 || p >= n {
+		return 0
+	}
+	m := Mean(xs)
+	var den float64
+	for _, x := range xs {
+		d := x - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	var num float64
+	for i := 0; i+p < n; i++ {
+		num += (xs[i] - m) * (xs[i+p] - m)
+	}
+	return num / den
+}
+
+// Autocorrelogram returns the autocorrelation coefficients for lags
+// 0..maxLag inclusive (out[0] is always 1 for a non-constant series).
+// This is the chart the oscillatory-pattern detector inspects for
+// periodic peaks. maxLag is clamped to len(xs)-1.
+func Autocorrelogram(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	out := make([]float64, maxLag+1)
+	m := Mean(xs)
+	centered := make([]float64, n)
+	var den float64
+	for i, x := range xs {
+		centered[i] = x - m
+		den += centered[i] * centered[i]
+	}
+	if den == 0 {
+		return out // all zeros: constant series has no autocorrelation
+	}
+	for p := 0; p <= maxLag; p++ {
+		var num float64
+		for i := 0; i+p < n; i++ {
+			num += centered[i] * centered[i+p]
+		}
+		out[p] = num / den
+	}
+	return out
+}
+
+// Peak describes a local maximum in an autocorrelogram.
+type Peak struct {
+	Lag   int     // lag at which the peak occurs
+	Value float64 // autocorrelation coefficient at the peak
+}
+
+// Peaks returns the local maxima of an autocorrelogram whose value is at
+// least minValue, skipping lag 0 (which is trivially 1). A point is a
+// local maximum when it is strictly greater than its left neighbour and
+// at least its right neighbour; plateaus report their left edge.
+func Peaks(acf []float64, minValue float64) []Peak {
+	var out []Peak
+	for i := 1; i < len(acf); i++ {
+		left := acf[i-1]
+		right := left // treat the series end as a falling edge
+		if i+1 < len(acf) {
+			right = acf[i+1]
+		}
+		if acf[i] > left && acf[i] >= right && acf[i] >= minValue {
+			out = append(out, Peak{Lag: i, Value: acf[i]})
+		}
+	}
+	return out
+}

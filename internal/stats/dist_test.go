@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonPMFBasics(t *testing.T) {
+	if got := PoissonPMF(0, 0); got != 1 {
+		t.Errorf("P(0;0) = %v, want 1", got)
+	}
+	if got := PoissonPMF(0, 3); got != 0 {
+		t.Errorf("P(3;0) = %v, want 0", got)
+	}
+	if got := PoissonPMF(2, -1); got != 0 {
+		t.Errorf("negative k should be 0, got %v", got)
+	}
+	// P(k=1; lambda=1) = e^-1.
+	if got := PoissonPMF(1, 1); !almostEqual(got, 0.3678794411714423, 1e-12) {
+		t.Errorf("P(1;1) = %v", got)
+	}
+	// Large k stays finite (log-space computation).
+	if got := PoissonPMF(100, 100); !IsFinite(got) || got <= 0 {
+		t.Errorf("P(100;100) = %v, want finite positive", got)
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, lambda := range []float64{0.3, 1, 5, 20} {
+		var s float64
+		for k := 0; k < 200; k++ {
+			s += PoissonPMF(lambda, k)
+		}
+		if !almostEqual(s, 1, 1e-9) {
+			t.Errorf("sum of pmf(lambda=%v) = %v", lambda, s)
+		}
+	}
+}
+
+func TestPoissonCDFMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		lambda := r.Float64() * 30
+		prev := -1.0
+		for k := 0; k < 60; k++ {
+			c := PoissonCDF(lambda, k)
+			if c < prev-1e-12 || c < 0 || c > 1 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if PoissonCDF(5, -1) != 0 {
+		t.Error("CDF at k<0 should be 0")
+	}
+}
+
+func TestNormalPDFAndCDF(t *testing.T) {
+	if got := NormalPDF(0, 0, 1); !almostEqual(got, 0.3989422804014327, 1e-12) {
+		t.Errorf("phi(0) = %v", got)
+	}
+	if got := NormalCDF(0, 0, 1); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Phi(0) = %v, want 0.5", got)
+	}
+	if got := NormalCDF(1.96, 0, 1); !almostEqual(got, 0.975, 1e-3) {
+		t.Errorf("Phi(1.96) = %v, want ~0.975", got)
+	}
+	// Degenerate sigma behaves like a step function.
+	if NormalCDF(1, 2, 0) != 0 || NormalCDF(3, 2, 0) != 1 {
+		t.Error("degenerate normal CDF should be a step at mu")
+	}
+	if NormalPDF(0, 0, 0) != 0 {
+		t.Error("degenerate normal PDF should be 0")
+	}
+}
+
+func TestChiSquareGoodness(t *testing.T) {
+	obs := []float64{10, 20, 30}
+	expd := []float64{10, 20, 30}
+	chi2, dof := ChiSquareGoodness(obs, expd, 1)
+	if chi2 != 0 || dof != 2 {
+		t.Errorf("identical distributions: chi2=%v dof=%d", chi2, dof)
+	}
+	// Bins below minExpected are skipped.
+	obs = []float64{10, 1}
+	expd = []float64{10, 0.01}
+	chi2, dof = ChiSquareGoodness(obs, expd, 1)
+	if chi2 != 0 || dof != 0 {
+		t.Errorf("low-expectation bin not skipped: chi2=%v dof=%d", chi2, dof)
+	}
+}
+
+func TestPoissonFitRecoversLambda(t *testing.T) {
+	r := NewRNG(31)
+	counts := make([]int, 5000)
+	for i := range counts {
+		counts[i] = r.Poisson(4)
+	}
+	lambda, chi2 := PoissonFit(counts)
+	if !almostEqual(lambda, 4, 0.2) {
+		t.Errorf("fitted lambda = %v, want ~4", lambda)
+	}
+	// A genuine Poisson sample should fit well: chi2 per dof small.
+	if chi2 > 50 {
+		t.Errorf("chi2 = %v unexpectedly large for true Poisson data", chi2)
+	}
+	if l, c := PoissonFit(nil); l != 0 || c != 0 {
+		t.Error("empty input should give zeros")
+	}
+}
+
+func TestPoissonFitRejectsBimodal(t *testing.T) {
+	// Covert-channel-like density data: half the windows quiet, half
+	// bursty. The Poisson fit must be visibly bad (large chi2).
+	counts := make([]int, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		counts = append(counts, 0)
+	}
+	for i := 0; i < 1000; i++ {
+		counts = append(counts, 20)
+	}
+	_, chi2 := PoissonFit(counts)
+	if chi2 < 1000 {
+		t.Errorf("bimodal data chi2 = %v, want very large", chi2)
+	}
+}

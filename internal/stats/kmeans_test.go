@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func twoBlobs(r *RNG, n int) ([][]float64, []int) {
+	points := make([][]float64, 0, 2*n)
+	truth := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		points = append(points, []float64{r.NormFloat64() * 0.3, r.NormFloat64() * 0.3})
+		truth = append(truth, 0)
+	}
+	for i := 0; i < n; i++ {
+		points = append(points, []float64{10 + r.NormFloat64()*0.3, 10 + r.NormFloat64()*0.3})
+		truth = append(truth, 1)
+	}
+	return points, truth
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	r := NewRNG(17)
+	points, truth := twoBlobs(r, 50)
+	assign, centroids := KMeans(points, 2, 100, NewRNG(1))
+	if len(centroids) != 2 {
+		t.Fatalf("got %d centroids", len(centroids))
+	}
+	// All points with the same truth label must share a cluster.
+	for i := 1; i < 50; i++ {
+		if assign[i] != assign[0] {
+			t.Fatalf("blob 0 split across clusters")
+		}
+	}
+	for i := 51; i < 100; i++ {
+		if assign[i] != assign[50] {
+			t.Fatalf("blob 1 split across clusters")
+		}
+	}
+	if assign[0] == assign[50] {
+		t.Fatal("blobs merged into one cluster")
+	}
+	_ = truth
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	points, _ := twoBlobs(NewRNG(23), 30)
+	a1, c1 := KMeans(points, 3, 50, NewRNG(5))
+	a2, c2 := KMeans(points, 3, 50, NewRNG(5))
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same-seed KMeans produced different assignments")
+		}
+	}
+	for i := range c1 {
+		for d := range c1[i] {
+			if c1[i][d] != c2[i][d] {
+				t.Fatal("same-seed KMeans produced different centroids")
+			}
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if a, c := KMeans(nil, 3, 10, nil); a != nil || c != nil {
+		t.Error("empty input should return nils")
+	}
+	points := [][]float64{{1}, {2}}
+	assign, centroids := KMeans(points, 5, 10, NewRNG(2))
+	if len(centroids) != 2 {
+		t.Errorf("k should clamp to n, got %d centroids", len(centroids))
+	}
+	if len(assign) != 2 {
+		t.Errorf("assign length %d", len(assign))
+	}
+	// k=1 puts everything together.
+	assign, _ = KMeans(points, 1, 10, NewRNG(2))
+	if assign[0] != 0 || assign[1] != 0 {
+		t.Error("k=1 should assign all points to cluster 0")
+	}
+}
+
+func TestKMeansMixedDimensionsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed dimensions should panic")
+		}
+	}()
+	KMeans([][]float64{{1, 2}, {1}}, 1, 5, NewRNG(1))
+}
+
+func TestKMeansAssignmentsValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 2 + r.Intn(40)
+		dim := 1 + r.Intn(4)
+		k := 1 + r.Intn(6)
+		points := make([][]float64, n)
+		for i := range points {
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = r.Float64() * 10
+			}
+			points[i] = p
+		}
+		assign, centroids := KMeans(points, k, 30, NewRNG(seed+1))
+		if len(assign) != n {
+			return false
+		}
+		for _, a := range assign {
+			if a < 0 || a >= len(centroids) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterSizes(t *testing.T) {
+	sizes := ClusterSizes([]int{0, 1, 1, 2, 1}, 3)
+	if sizes[0] != 1 || sizes[1] != 3 || sizes[2] != 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestSilhouetteQuality(t *testing.T) {
+	points, _ := twoBlobs(NewRNG(41), 30)
+	assign, _ := KMeans(points, 2, 50, NewRNG(3))
+	s := Silhouette(points, assign, 2)
+	if s < 0.8 {
+		t.Errorf("well-separated blobs silhouette = %v, want > 0.8", s)
+	}
+	// Degenerate cases return 0.
+	if Silhouette(points[:1], []int{0}, 1) != 0 {
+		t.Error("single point silhouette should be 0")
+	}
+}

@@ -1,0 +1,17 @@
+package stats
+
+import "math"
+
+// Thin wrappers so the rest of the package reads tersely; they also give
+// one place to swap in fixed-point math if the detector is ever ported
+// to a no-FPU environment (the CC-Auditor software daemon of §V-B runs
+// on a host core, so float64 is fine here).
+func exp(x float64) float64  { return math.Exp(x) }
+func ln(x float64) float64   { return math.Log(x) }
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func abs(x float64) float64  { return math.Abs(x) }
+
+// IsFinite reports whether x is neither NaN nor infinite.
+func IsFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}

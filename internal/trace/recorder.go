@@ -1,0 +1,69 @@
+package trace
+
+// Listener receives events as the simulator executes. Implementations
+// must not block; they are called synchronously on the engine's
+// execution path.
+type Listener interface {
+	OnEvent(Event)
+}
+
+// Recorder is a Listener that appends every event (optionally filtered
+// by kind) to a Train. It stands in for an ideal, infinitely deep
+// monitoring buffer; the CC-Auditor model in internal/auditor applies
+// the paper's real hardware limits on top of the same Listener
+// interface.
+type Recorder struct {
+	train *Train
+	kinds map[Kind]bool // nil means all kinds
+	limit int           // 0 means unlimited
+}
+
+// NewRecorder returns a recorder capturing the given kinds (all kinds
+// when none are listed).
+func NewRecorder(kinds ...Kind) *Recorder {
+	r := &Recorder{train: NewTrain(1024)}
+	if len(kinds) > 0 {
+		r.kinds = make(map[Kind]bool, len(kinds))
+		for _, k := range kinds {
+			r.kinds[k] = true
+		}
+	}
+	return r
+}
+
+// SetLimit caps the number of recorded events; once reached, further
+// events are dropped. Zero means unlimited.
+func (r *Recorder) SetLimit(n int) { r.limit = n }
+
+// OnEvent implements Listener.
+func (r *Recorder) OnEvent(e Event) {
+	if r.kinds != nil && !r.kinds[e.Kind] {
+		return
+	}
+	if r.limit > 0 && r.train.Len() >= r.limit {
+		return
+	}
+	r.train.Append(e)
+}
+
+// Train returns the recorded train.
+func (r *Recorder) Train() *Train { return r.train }
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() { r.train = NewTrain(1024) }
+
+// Tee is a Listener that fans events out to several listeners.
+type Tee []Listener
+
+// OnEvent implements Listener.
+func (t Tee) OnEvent(e Event) {
+	for _, l := range t {
+		l.OnEvent(e)
+	}
+}
+
+// ListenerFunc adapts a function to the Listener interface.
+type ListenerFunc func(Event)
+
+// OnEvent implements Listener.
+func (f ListenerFunc) OnEvent(e Event) { f(e) }

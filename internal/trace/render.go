@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV writes the train as "cycle,kind,actor,victim,unit" rows,
+// preceded by a header, for offline plotting.
+func (t *Train) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "cycle,kind,actor,victim,unit\n"); err != nil {
+		return err
+	}
+	for _, e := range t.events {
+		victim := ""
+		if e.Victim != NoContext {
+			victim = fmt.Sprintf("%d", e.Victim)
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%s,%d\n",
+			e.Cycle, e.Kind, e.Actor, victim, e.Unit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ASCIITrain renders the event train as the familiar raster plot of the
+// paper's Figure 4: time flows left to right across width columns; each
+// column is drawn dark when it contains at least one event. It returns
+// an empty string for an empty train.
+func (t *Train) ASCIITrain(width int) string {
+	if t.Len() == 0 || width <= 0 {
+		return ""
+	}
+	first, last := t.Span()
+	span := last - first
+	if span == 0 {
+		span = 1
+	}
+	cols := make([]int, width)
+	for _, e := range t.events {
+		idx := int(uint64(width-1) * (e.Cycle - first) / span)
+		if idx >= width {
+			idx = width - 1
+		}
+		cols[idx]++
+	}
+	var sb strings.Builder
+	for _, c := range cols {
+		switch {
+		case c == 0:
+			sb.WriteByte(' ')
+		case c < 3:
+			sb.WriteByte('.')
+		case c < 10:
+			sb.WriteByte('|')
+		default:
+			sb.WriteByte('#')
+		}
+	}
+	return sb.String()
+}
+
+// WriteSeriesCSV writes a generic (x, y) float series as CSV with the
+// given column names; used by experiments to dump autocorrelograms and
+// latency traces.
+func WriteSeriesCSV(w io.Writer, xName, yName string, ys []float64) error {
+	if _, err := fmt.Fprintf(w, "%s,%s\n", xName, yName); err != nil {
+		return err
+	}
+	for i, y := range ys {
+		if _, err := fmt.Fprintf(w, "%d,%g\n", i, y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ASCIISeries renders a y-series as a rows×width ASCII line chart with
+// min/max annotations — a quick look at autocorrelograms and latency
+// traces without leaving the terminal.
+func ASCIISeries(ys []float64, width, rows int) string {
+	if len(ys) == 0 || width <= 0 || rows <= 0 {
+		return ""
+	}
+	min, max := ys[0], ys[0]
+	for _, y := range ys {
+		if y < min {
+			min = y
+		}
+		if y > max {
+			max = y
+		}
+	}
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i, y := range ys {
+		col := i * (width - 1) / maxInt(len(ys)-1, 1)
+		row := int(float64(rows-1) * (max - y) / span)
+		grid[row][col] = '*'
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "max=%.4g\n", max)
+	for _, line := range grid {
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "min=%.4g\n", min)
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,247 @@
+// Package trace defines the event model shared by every layer of the
+// reproduction: hardware units emit Events, the CC-Auditor accumulates
+// them, and the detection algorithms consume them as event trains
+// (uni-dimensional time series of event occurrences, §IV-B).
+package trace
+
+import "fmt"
+
+// Kind identifies the hardware indicator event behind a conflict
+// (§IV-B step 1: the first step in detecting covert timing channels is
+// identifying the event behind the resource contention).
+type Kind uint8
+
+const (
+	// KindBusLock fires when a context performs an atomic unaligned
+	// memory access spanning two cache lines, locking the memory bus
+	// (or its QPI-emulated equivalent).
+	KindBusLock Kind = iota
+	// KindDivContention fires for every cycle in which a division from
+	// one hardware context waits on a divider occupied by an
+	// instruction from another context.
+	KindDivContention
+	// KindConflictMiss fires when a cache access misses because the
+	// block was prematurely evicted from a set-associative cache (it
+	// would have been retained by a fully-associative cache of the
+	// same capacity), and another context's block is replaced to make
+	// room.
+	KindConflictMiss
+	numKinds
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBusLock:
+		return "bus-lock"
+	case KindDivContention:
+		return "div-contention"
+	case KindConflictMiss:
+		return "conflict-miss"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// NumKinds returns the number of defined event kinds.
+func NumKinds() int { return int(numKinds) }
+
+// NoContext marks an absent context ID (e.g. a conflict miss that
+// evicted an unowned block).
+const NoContext uint8 = 0xff
+
+// Event is a single indicator-event occurrence.
+type Event struct {
+	// Cycle is the simulated global time of the occurrence.
+	Cycle uint64
+	// Kind says which indicator event fired.
+	Kind Kind
+	// Actor is the hardware context that caused the event: the context
+	// issuing the bus lock, the context waiting on the divider, or the
+	// replacer of a conflict miss.
+	Actor uint8
+	// Victim is the other side where one exists: the context occupying
+	// the divider, or the owner of the evicted cache block. NoContext
+	// when absent.
+	Victim uint8
+	// Unit is the cache set index for conflict misses (used by the
+	// auditor's per-set run-length dedup); 0 otherwise.
+	Unit uint32
+}
+
+// PairID encodes the ordered (Actor, Victim) pair as a unique small
+// integer given the total number of hardware contexts, as the paper's
+// vector register does ("every ordered pair of trojan/spy contexts have
+// unique identifiers"). Events without a victim map to the Actor-only
+// band above all pair IDs.
+func (e Event) PairID(contexts int) int {
+	if e.Victim == NoContext {
+		return contexts*contexts + int(e.Actor)
+	}
+	return int(e.Actor)*contexts + int(e.Victim)
+}
+
+// Train is an append-only event train: a time-ordered series of events
+// on one shared resource. Append enforces monotonically non-decreasing
+// cycles, which every producer in the simulator satisfies because ops
+// execute in global time order.
+type Train struct {
+	events []Event
+}
+
+// NewTrain returns an empty train with capacity hint n.
+func NewTrain(n int) *Train {
+	return &Train{events: make([]Event, 0, n)}
+}
+
+// Append adds an event to the train. It panics if the event would make
+// the train non-monotonic in time; that would mean the simulator's
+// global ordering is broken, which is a bug worth failing loudly on.
+func (t *Train) Append(e Event) {
+	if n := len(t.events); n > 0 && e.Cycle < t.events[n-1].Cycle {
+		panic(fmt.Sprintf("trace: out-of-order event at cycle %d after %d",
+			e.Cycle, t.events[n-1].Cycle))
+	}
+	t.events = append(t.events, e)
+}
+
+// Len returns the number of events.
+func (t *Train) Len() int { return len(t.events) }
+
+// Events returns the underlying events. Callers must not mutate it.
+func (t *Train) Events() []Event { return t.events }
+
+// At returns the i-th event.
+func (t *Train) At(i int) Event { return t.events[i] }
+
+// Span returns the first and last event cycles, or (0, 0) for an empty
+// train.
+func (t *Train) Span() (first, last uint64) {
+	if len(t.events) == 0 {
+		return 0, 0
+	}
+	return t.events[0].Cycle, t.events[len(t.events)-1].Cycle
+}
+
+// Window returns a new train containing the events with
+// start <= Cycle < end. The events slice is shared, not copied.
+func (t *Train) Window(start, end uint64) *Train {
+	lo := searchCycle(t.events, start)
+	hi := searchCycle(t.events, end)
+	return &Train{events: t.events[lo:hi]}
+}
+
+// searchCycle returns the index of the first event with Cycle >= c.
+func searchCycle(events []Event, c uint64) int {
+	lo, hi := 0, len(events)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if events[mid].Cycle < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// FilterKind returns a new train with only events of kind k (copied).
+func (t *Train) FilterKind(k Kind) *Train {
+	out := &Train{}
+	for _, e := range t.events {
+		if e.Kind == k {
+			out.events = append(out.events, e)
+		}
+	}
+	return out
+}
+
+// FilterActor returns a new train with only events whose Actor is a.
+func (t *Train) FilterActor(a uint8) *Train {
+	out := &Train{}
+	for _, e := range t.events {
+		if e.Actor == a {
+			out.events = append(out.events, e)
+		}
+	}
+	return out
+}
+
+// Densities slices [start, end) into consecutive Δt windows and returns
+// the event count in each (§IV-B step 1: Δt is the observation window
+// to count the number of event occurrences within that interval).
+// Events outside the range are ignored. A partial trailing window is
+// included when includePartial is true.
+func (t *Train) Densities(start, end, dt uint64, includePartial bool) []int {
+	if dt == 0 {
+		panic("trace: Densities with dt == 0")
+	}
+	if end <= start {
+		return nil
+	}
+	span := end - start
+	n := int(span / dt)
+	partial := span%dt != 0
+	total := n
+	if partial && includePartial {
+		total++
+	}
+	out := make([]int, total)
+	for _, e := range t.events {
+		if e.Cycle < start || e.Cycle >= end {
+			continue
+		}
+		idx := int((e.Cycle - start) / dt)
+		if idx >= total {
+			continue // inside the partial window when it is excluded
+		}
+		out[idx]++
+	}
+	return out
+}
+
+// MeanRate returns the average event rate in events per cycle over
+// [start, end), or 0 for an empty range.
+func (t *Train) MeanRate(start, end uint64) float64 {
+	if end <= start {
+		return 0
+	}
+	w := t.Window(start, end)
+	return float64(w.Len()) / float64(end-start)
+}
+
+// InterEventIntervals returns the cycle gaps between consecutive
+// events.
+func (t *Train) InterEventIntervals() []uint64 {
+	if len(t.events) < 2 {
+		return nil
+	}
+	out := make([]uint64, len(t.events)-1)
+	for i := 1; i < len(t.events); i++ {
+		out[i-1] = t.events[i].Cycle - t.events[i-1].Cycle
+	}
+	return out
+}
+
+// PairSeries maps each event, in train order, to its ordered-pair
+// identifier (see Event.PairID) as a float series. This is the series
+// the oscillatory-pattern detector autocorrelates (§IV-D): for a
+// two-party cache channel it reduces to the paper's 0/1 labelling of
+// "S→T" and "T→S", and interference from other pairs perturbs rather
+// than erases the periodicity.
+func (t *Train) PairSeries(contexts int) []float64 {
+	out := make([]float64, len(t.events))
+	for i, e := range t.events {
+		out[i] = float64(e.PairID(contexts))
+	}
+	return out
+}
+
+// Cycles returns the event timestamps.
+func (t *Train) Cycles() []uint64 {
+	out := make([]uint64, len(t.events))
+	for i, e := range t.events {
+		out[i] = e.Cycle
+	}
+	return out
+}

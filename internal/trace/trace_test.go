@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cchunter/internal/stats"
+)
+
+func mkTrain(cycles ...uint64) *Train {
+	t := NewTrain(len(cycles))
+	for _, c := range cycles {
+		t.Append(Event{Cycle: c, Kind: KindBusLock, Actor: 1, Victim: NoContext})
+	}
+	return t
+}
+
+func TestKindString(t *testing.T) {
+	if KindBusLock.String() != "bus-lock" ||
+		KindDivContention.String() != "div-contention" ||
+		KindConflictMiss.String() != "conflict-miss" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should include numeric value")
+	}
+	if NumKinds() != 3 {
+		t.Errorf("NumKinds = %d", NumKinds())
+	}
+}
+
+func TestAppendMonotonic(t *testing.T) {
+	tr := mkTrain(5, 5, 9)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order append did not panic")
+		}
+	}()
+	tr.Append(Event{Cycle: 3})
+}
+
+func TestSpan(t *testing.T) {
+	if f, l := NewTrain(0).Span(); f != 0 || l != 0 {
+		t.Error("empty span should be (0,0)")
+	}
+	if f, l := mkTrain(3, 8, 20).Span(); f != 3 || l != 20 {
+		t.Errorf("span = (%d,%d)", f, l)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := mkTrain(0, 10, 20, 30, 40)
+	w := tr.Window(10, 30)
+	if w.Len() != 2 || w.At(0).Cycle != 10 || w.At(1).Cycle != 20 {
+		t.Errorf("window events: %v", w.Events())
+	}
+	if tr.Window(100, 200).Len() != 0 {
+		t.Error("window past end should be empty")
+	}
+	if tr.Window(20, 20).Len() != 0 {
+		t.Error("empty range should be empty")
+	}
+}
+
+func TestFilterKindAndActor(t *testing.T) {
+	tr := NewTrain(0)
+	tr.Append(Event{Cycle: 1, Kind: KindBusLock, Actor: 0})
+	tr.Append(Event{Cycle: 2, Kind: KindConflictMiss, Actor: 1})
+	tr.Append(Event{Cycle: 3, Kind: KindBusLock, Actor: 1})
+	if got := tr.FilterKind(KindBusLock).Len(); got != 2 {
+		t.Errorf("FilterKind len = %d", got)
+	}
+	if got := tr.FilterActor(1).Len(); got != 2 {
+		t.Errorf("FilterActor len = %d", got)
+	}
+}
+
+func TestDensities(t *testing.T) {
+	tr := mkTrain(0, 1, 2, 10, 11, 25)
+	// Windows of 10 over [0, 30): [0,10)=3, [10,20)=2, [20,30)=1.
+	got := tr.Densities(0, 30, 10, false)
+	if len(got) != 3 || got[0] != 3 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("densities = %v", got)
+	}
+	// Partial window [20, 26) excluded vs included.
+	if got := tr.Densities(0, 26, 10, false); len(got) != 2 {
+		t.Errorf("partial excluded: %v", got)
+	}
+	if got := tr.Densities(0, 26, 10, true); len(got) != 3 || got[2] != 1 {
+		t.Errorf("partial included: %v", got)
+	}
+	if got := tr.Densities(5, 5, 10, true); got != nil {
+		t.Errorf("empty range: %v", got)
+	}
+}
+
+func TestDensitiesPanicsOnZeroDt(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dt=0 should panic")
+		}
+	}()
+	mkTrain(1).Densities(0, 10, 0, false)
+}
+
+func TestDensitiesSumInvariant(t *testing.T) {
+	// Property: the densities over a full multiple-of-dt range sum to
+	// the number of in-range events.
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		tr := NewTrain(0)
+		var c uint64
+		n := r.Intn(300)
+		for i := 0; i < n; i++ {
+			c += uint64(r.Intn(50))
+			tr.Append(Event{Cycle: c})
+		}
+		dt := uint64(1 + r.Intn(100))
+		end := (c/dt + 1) * dt
+		ds := tr.Densities(0, end, dt, false)
+		sum := 0
+		for _, d := range ds {
+			sum += d
+		}
+		return sum == tr.Window(0, end).Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanRate(t *testing.T) {
+	tr := mkTrain(0, 5, 9)
+	if got := tr.MeanRate(0, 10); got != 0.3 {
+		t.Errorf("MeanRate = %v, want 0.3", got)
+	}
+	if tr.MeanRate(10, 10) != 0 {
+		t.Error("degenerate range should be 0")
+	}
+}
+
+func TestInterEventIntervals(t *testing.T) {
+	if mkTrain(7).InterEventIntervals() != nil {
+		t.Error("single event should give nil")
+	}
+	got := mkTrain(0, 3, 10).InterEventIntervals()
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("intervals = %v", got)
+	}
+}
+
+func TestPairIDAndSeries(t *testing.T) {
+	e := Event{Actor: 2, Victim: 3}
+	if got := e.PairID(8); got != 19 {
+		t.Errorf("PairID = %d, want 19", got)
+	}
+	noVictim := Event{Actor: 5, Victim: NoContext}
+	if got := noVictim.PairID(8); got != 69 {
+		t.Errorf("victimless PairID = %d, want 69", got)
+	}
+	tr := NewTrain(0)
+	tr.Append(Event{Cycle: 1, Actor: 0, Victim: 1})
+	tr.Append(Event{Cycle: 2, Actor: 1, Victim: 0})
+	s := tr.PairSeries(2)
+	if len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Errorf("PairSeries = %v", s)
+	}
+}
+
+func TestCycles(t *testing.T) {
+	got := mkTrain(2, 4, 8).Cycles()
+	if len(got) != 3 || got[0] != 2 || got[2] != 8 {
+		t.Errorf("Cycles = %v", got)
+	}
+}
+
+func TestRecorderFiltersAndLimits(t *testing.T) {
+	r := NewRecorder(KindBusLock)
+	r.OnEvent(Event{Cycle: 1, Kind: KindBusLock})
+	r.OnEvent(Event{Cycle: 2, Kind: KindConflictMiss})
+	if r.Train().Len() != 1 {
+		t.Errorf("filtered recorder len = %d", r.Train().Len())
+	}
+	all := NewRecorder()
+	all.SetLimit(2)
+	for i := uint64(0); i < 5; i++ {
+		all.OnEvent(Event{Cycle: i})
+	}
+	if all.Train().Len() != 2 {
+		t.Errorf("limited recorder len = %d", all.Train().Len())
+	}
+	all.Reset()
+	if all.Train().Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestTeeAndListenerFunc(t *testing.T) {
+	var count int
+	a := NewRecorder()
+	tee := Tee{a, ListenerFunc(func(Event) { count++ })}
+	tee.OnEvent(Event{Cycle: 1})
+	tee.OnEvent(Event{Cycle: 2})
+	if a.Train().Len() != 2 || count != 2 {
+		t.Errorf("tee fanned out %d/%d", a.Train().Len(), count)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := NewTrain(0)
+	tr.Append(Event{Cycle: 1, Kind: KindConflictMiss, Actor: 2, Victim: 3, Unit: 7})
+	tr.Append(Event{Cycle: 2, Kind: KindBusLock, Actor: 1, Victim: NoContext})
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "cycle,kind,actor,victim,unit\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "1,conflict-miss,2,3,7") {
+		t.Errorf("missing row: %q", out)
+	}
+	if !strings.Contains(out, "2,bus-lock,1,,0") {
+		t.Errorf("victimless row wrong: %q", out)
+	}
+}
+
+func TestASCIITrain(t *testing.T) {
+	if mkTrain().ASCIITrain(10) != "" {
+		t.Error("empty train should render empty")
+	}
+	out := mkTrain(0, 1, 2, 3, 100).ASCIITrain(20)
+	if len(out) != 20 {
+		t.Errorf("width = %d", len(out))
+	}
+	if out[0] == ' ' || out[len(out)-1] == ' ' {
+		t.Errorf("expected marks at both ends: %q", out)
+	}
+	if !strings.Contains(out, " ") {
+		t.Errorf("expected gap in the middle: %q", out)
+	}
+}
+
+func TestWriteSeriesCSVAndASCIISeries(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSeriesCSV(&sb, "lag", "acf", []float64{1, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lag,acf\n0,1\n1,0.5\n") {
+		t.Errorf("csv = %q", sb.String())
+	}
+	plot := ASCIISeries([]float64{0, 1, 0, 1}, 8, 3)
+	if !strings.Contains(plot, "*") || !strings.Contains(plot, "max=") {
+		t.Errorf("plot = %q", plot)
+	}
+	if ASCIISeries(nil, 8, 3) != "" {
+		t.Error("empty series should render empty")
+	}
+	// Constant series must not divide by zero.
+	if plot := ASCIISeries([]float64{2, 2}, 4, 2); !strings.Contains(plot, "*") {
+		t.Errorf("constant series plot = %q", plot)
+	}
+}

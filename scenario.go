@@ -1,0 +1,441 @@
+package cchunter
+
+import (
+	"fmt"
+
+	"cchunter/internal/auditor"
+	"cchunter/internal/channels"
+	"cchunter/internal/core"
+	"cchunter/internal/mitigate"
+	"cchunter/internal/sim"
+	"cchunter/internal/trace"
+	"cchunter/internal/workload"
+)
+
+// Scenario describes one experiment: a machine, at most one covert
+// channel, and any benign workloads. The zero value plus a Channel is
+// runnable; unset fields take paper-calibrated defaults.
+type Scenario struct {
+	// Channel selects the covert channel (default ChannelNone).
+	Channel Channel
+	// BandwidthBPS is the channel bandwidth in bits per second
+	// (default 1000, ignored for ChannelNone).
+	BandwidthBPS float64
+	// Message is the bit pattern to transmit; when nil, a 64-bit
+	// random message derived from Seed is used.
+	Message []int
+	// CacheSets is the cache channel's total set count across G1 and
+	// G0 (default 512).
+	CacheSets int
+	// CacheRounds overrides the channel's prime/probe rounds per bit
+	// (0 = adapt to the bit slot).
+	CacheRounds int
+	// Workloads names benign programs (see WorkloadNames) that run
+	// alongside; they are placed pairwise onto the cores after the
+	// channel's, each pair sharing a core as hyperthreads (the
+	// paper's §VI-D arrangement).
+	Workloads []string
+	// CoScheduled names workloads that time-share the covert channel's
+	// own hardware contexts (pinned to contexts 0 and 1 alternately,
+	// multiplexed by the OS quantum). Their cache traffic lands in the
+	// channel's L2 and dilutes the conflict-miss train — the noise
+	// regime of the paper's low-bandwidth study (§VI-A).
+	CoScheduled []string
+	// Background is the number of light noise processes, satisfying
+	// the threat model's "at least three other active processes"
+	// (default 3; set to -1 for none).
+	Background int
+	// DurationQuanta is the observation length in OS time quanta.
+	// Default: enough quanta to cover the whole message plus one.
+	DurationQuanta int
+	// QuantumCycles overrides the OS time quantum (default: the
+	// paper's 0.1 s = 250M cycles at 2.5 GHz).
+	QuantumCycles uint64
+	// ObservationDivisor splits each quantum into finer oscillation
+	// observation windows (§VI-A); default 1.
+	ObservationDivisor int
+	// IdealTracker selects the exact LRU-stack conflict tracker
+	// instead of the practical generation/Bloom design.
+	IdealTracker bool
+	// MigrationProb is the per-quantum process migration probability
+	// for unpinned processes.
+	MigrationProb float64
+	// EvasionNoise makes the bus trojan camouflage '0' slots with
+	// random-intensity bursts (the §III evasion strategy); see the
+	// evasion experiment.
+	EvasionNoise float64
+	// Mitigation applies a post-detection defense for the whole run:
+	// "" (none), "buslimit" (split-lock rate limiting), "partition"
+	// (L2 way-partitioning per context), "tdm" (time-multiplexed
+	// dividers), or "clockfuzz" (fuzzy time). See internal/mitigate.
+	Mitigation string
+	// Seed drives every random choice in the scenario.
+	Seed uint64
+	// RecordRaw additionally captures the full undeduplicated event
+	// train (memory-hungry on long runs; used by trace dumps and the
+	// Figure 4 event-train plots).
+	RecordRaw bool
+	// Detector overrides parts of the detection configuration; leave
+	// zero for paper defaults.
+	Detector *DetectorOverrides
+}
+
+// DetectorOverrides adjusts detection parameters without exposing the
+// whole internal configuration surface.
+type DetectorOverrides struct {
+	// LikelihoodThreshold replaces the default 0.5 when non-zero.
+	LikelihoodThreshold float64
+	// PeakThreshold replaces the oscillation peak threshold (default
+	// 0.5) when non-zero.
+	PeakThreshold float64
+	// WindowQuanta replaces the 512-quantum clustering window when
+	// non-zero.
+	WindowQuanta int
+}
+
+// Result is everything a Scenario run produces.
+type Result struct {
+	// Report is the CC-Hunter detection report.
+	Report Report
+	// Sent and Decoded are the transmitted and spy-decoded bits
+	// (empty for ChannelNone).
+	Sent, Decoded []int
+	// BitErrors counts decoding errors — the channel's reliability.
+	BitErrors int
+	// PerBitSeries is the spy's per-bit observable: average memory
+	// latency (bus, Figure 2), average division-loop latency
+	// (divider, Figure 3), or G1/G0 access-time ratio (cache,
+	// Figure 7).
+	PerBitSeries []float64
+	// BusHistogram and DivHistogram are the merged event density
+	// histograms (Figure 6).
+	BusHistogram, DivHistogram *Histogram
+	// BusRecords and DivRecords are the per-quantum histograms.
+	BusRecords, DivRecords []QuantumHistogram
+	// ConflictTrain is the auditor's deduplicated conflict-miss train
+	// (Figure 8a).
+	ConflictTrain *Train
+	// RawTrain is the full event train when RecordRaw was set.
+	RawTrain *Train
+	// EndCycle is the simulated duration.
+	EndCycle uint64
+	// QuantumCycles echoes the quantum used.
+	QuantumCycles uint64
+	// Contexts is the machine's hardware context count.
+	Contexts int
+}
+
+// WorkloadNames lists the benign workloads a Scenario can name.
+func WorkloadNames() []string {
+	all := workload.All()
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	// Deterministic order for display.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// Run executes the scenario to completion and analyzes it.
+func (sc Scenario) Run() (*Result, error) {
+	cfg, err := sc.normalize()
+	if err != nil {
+		return nil, err
+	}
+
+	simCfg := sim.DefaultConfig()
+	simCfg.QuantumCycles = cfg.QuantumCycles
+	simCfg.Seed = cfg.Seed
+	simCfg.MigrationProb = cfg.MigrationProb
+	if cfg.IdealTracker {
+		simCfg.Tracker = sim.TrackerIdeal
+	}
+	switch sc.Mitigation {
+	case "":
+	case "buslimit":
+		// Allow a handful of split locks per 100k-cycle window; covert
+		// transmission needs ~20.
+		simCfg.Mitigations.BusLimiter = mitigate.NewBusLockLimiter(
+			simCfg.Contexts(), 100_000, 2, 200_000)
+	case "partition":
+		// One partition group per hardware context (each context gets
+		// 1 of 8 ways): no context can ever evict another's blocks —
+		// Partition-Locking's guarantee, at Partition-Locking's cost.
+		simCfg.Mitigations.Partition = mitigate.NewCachePartition(simCfg.Contexts(), nil)
+	case "tdm":
+		// Exclusive 10k-cycle divider epochs per hyperthread: cross-
+		// context divider contention becomes impossible.
+		simCfg.Mitigations.DividerTDM = mitigate.NewDividerTDM(10_000)
+	case "clockfuzz":
+		// Fuzz granularity must be commensurate with the bit slot —
+		// spies average many samples per bit, which defeats any
+		// fine-grained unbiased noise (Hu fuzzed 1–19 ms interrupts
+		// against ms-scale channels for the same reason). Half a slot
+		// of quantization plus a quarter slot of jitter leaves nothing
+		// to average.
+		slot := uint64(2_500_000_000 / cfg.BandwidthBPS)
+		q := slot / 2
+		if q < 500 {
+			q = 500
+		}
+		simCfg.Mitigations.Fuzz = mitigate.NewClockFuzz(q, q/2, cfg.Seed)
+	default:
+		return nil, fmt.Errorf("cchunter: unknown mitigation %q", sc.Mitigation)
+	}
+	system := sim.New(simCfg)
+	defer system.Close()
+
+	aud := auditor.New(auditor.DefaultConfig(cfg.QuantumCycles))
+	if err := aud.Monitor(trace.KindBusLock, core.DeltaTBus); err != nil {
+		return nil, fmt.Errorf("cchunter: monitoring bus: %w", err)
+	}
+	if err := aud.Monitor(trace.KindDivContention, core.DeltaTDivider); err != nil {
+		return nil, fmt.Errorf("cchunter: monitoring divider: %w", err)
+	}
+	if err := aud.MonitorConflicts(); err != nil {
+		return nil, fmt.Errorf("cchunter: monitoring conflicts: %w", err)
+	}
+	system.AddListener(aud)
+	var raw *trace.Recorder
+	if cfg.RecordRaw {
+		raw = trace.NewRecorder()
+		system.AddListener(raw)
+	}
+
+	res := &Result{
+		Sent:          append([]int(nil), cfg.Message...),
+		QuantumCycles: cfg.QuantumCycles,
+		Contexts:      simCfg.Contexts(),
+	}
+	spyDone := sc.spawnChannel(system, cfg, res)
+	var firstFreeCore int
+	switch sc.Channel {
+	case ChannelMemoryBus, ChannelSharedCache:
+		firstFreeCore = 2 // trojan on core 0, spy on core 1
+	case ChannelIntegerDivider:
+		firstFreeCore = 1 // trojan+spy are hyperthreads of core 0
+	default:
+		firstFreeCore = 0
+	}
+	for i, name := range cfg.Workloads {
+		spec, ok := workload.All()[name]
+		if !ok {
+			return nil, fmt.Errorf("cchunter: unknown workload %q", name)
+		}
+		ctx := (firstFreeCore+i/2)*simCfg.ThreadsPerCore + i%2
+		if ctx >= simCfg.Contexts() {
+			return nil, fmt.Errorf("cchunter: too many workloads for %d contexts", simCfg.Contexts())
+		}
+		system.Spawn(workload.New(spec, cfg.Seed+uint64(i)+10), sim.Pin(ctx))
+	}
+	for i, name := range sc.CoScheduled {
+		spec, ok := workload.All()[name]
+		if !ok {
+			return nil, fmt.Errorf("cchunter: unknown co-scheduled workload %q", name)
+		}
+		system.Spawn(workload.New(spec, cfg.Seed+uint64(i)+50), sim.Pin(i%2))
+	}
+	for i := 0; i < cfg.Background; i++ {
+		system.Spawn(workload.New(workload.Background(i), cfg.Seed+uint64(i)+100))
+	}
+
+	end := uint64(cfg.DurationQuanta) * cfg.QuantumCycles
+	system.Run(end)
+
+	detCfg := core.DefaultDetectorConfig(cfg.QuantumCycles, simCfg.Contexts())
+	detCfg.ObservationDivisor = cfg.ObservationDivisor
+	if o := sc.Detector; o != nil {
+		if o.LikelihoodThreshold > 0 {
+			detCfg.Burst.LikelihoodThreshold = o.LikelihoodThreshold
+		}
+		if o.PeakThreshold > 0 {
+			detCfg.Oscillation.PeakThreshold = o.PeakThreshold
+		}
+		if o.WindowQuanta > 0 {
+			detCfg.Burst.WindowQuanta = o.WindowQuanta
+		}
+	}
+	res.Report = core.NewDetector(aud, detCfg).Analyze(end)
+
+	spyDone(res)
+	res.BitErrors = repeatedBitErrors(res.Sent, res.Decoded)
+	if sc.Channel == ChannelNone {
+		res.Sent, res.Decoded, res.BitErrors = nil, nil, 0
+	}
+	res.BusHistogram = aud.MergedHistogram(trace.KindBusLock)
+	res.DivHistogram = aud.MergedHistogram(trace.KindDivContention)
+	res.BusRecords = aud.Histograms(trace.KindBusLock)
+	res.DivRecords = aud.Histograms(trace.KindDivContention)
+	res.ConflictTrain = aud.ConflictTrain()
+	if raw != nil {
+		res.RawTrain = raw.Train()
+	}
+	res.EndCycle = end
+	return res, nil
+}
+
+// normalized carries a Scenario with every default resolved.
+type normalized struct {
+	Message            []int
+	Workloads          []string
+	Background         int
+	DurationQuanta     int
+	QuantumCycles      uint64
+	ObservationDivisor int
+	IdealTracker       bool
+	MigrationProb      float64
+	Seed               uint64
+	RecordRaw          bool
+	BandwidthBPS       float64
+	CacheSets          int
+}
+
+func (sc Scenario) normalize() (normalized, error) {
+	cfg := normalized{
+		Message:            sc.Message,
+		Workloads:          sc.Workloads,
+		Background:         sc.Background,
+		DurationQuanta:     sc.DurationQuanta,
+		QuantumCycles:      sc.QuantumCycles,
+		ObservationDivisor: sc.ObservationDivisor,
+		IdealTracker:       sc.IdealTracker,
+		MigrationProb:      sc.MigrationProb,
+		Seed:               sc.Seed,
+		RecordRaw:          sc.RecordRaw,
+		BandwidthBPS:       sc.BandwidthBPS,
+		CacheSets:          sc.CacheSets,
+	}
+	switch sc.Channel {
+	case "", ChannelNone, ChannelMemoryBus, ChannelIntegerDivider, ChannelSharedCache:
+	default:
+		return cfg, fmt.Errorf("cchunter: unknown channel %q", sc.Channel)
+	}
+	if cfg.BandwidthBPS == 0 {
+		cfg.BandwidthBPS = 1000
+	}
+	if cfg.BandwidthBPS < 0 {
+		return cfg, fmt.Errorf("cchunter: negative bandwidth")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Message == nil {
+		cfg.Message = RandomMessage(64, cfg.Seed)
+	}
+	if cfg.CacheSets == 0 {
+		cfg.CacheSets = 512
+	}
+	if cfg.Background == 0 {
+		cfg.Background = 3
+	} else if cfg.Background < 0 {
+		cfg.Background = 0
+	}
+	if cfg.QuantumCycles == 0 {
+		cfg.QuantumCycles = 250_000_000
+	}
+	if cfg.ObservationDivisor <= 0 {
+		cfg.ObservationDivisor = 1
+	}
+	if cfg.DurationQuanta <= 0 {
+		clock := 2_500_000_000.0
+		slot := clock / cfg.BandwidthBPS
+		need := slot * float64(len(cfg.Message)+2)
+		cfg.DurationQuanta = int(need/float64(cfg.QuantumCycles)) + 1
+		if cfg.DurationQuanta < 4 {
+			cfg.DurationQuanta = 4 // recurrence needs several quanta
+		}
+	}
+	return cfg, nil
+}
+
+// repeatedBitErrors compares the decoded stream against the message
+// repeated as often as the trojan sent it.
+func repeatedBitErrors(sent, decoded []int) int {
+	if len(sent) == 0 {
+		return len(decoded)
+	}
+	errs := 0
+	for i, d := range decoded {
+		if d != sent[i%len(sent)] {
+			errs++
+		}
+	}
+	return errs
+}
+
+// spawnChannel wires the trojan/spy pair for the selected channel and
+// returns a closure that harvests the spy's observables into the
+// result after the run.
+func (sc Scenario) spawnChannel(system *sim.System, cfg normalized, res *Result) func(*Result) {
+	// The trojan exfiltrates continuously (Repeat): detection's
+	// recurrence step needs bursts across multiple OS time quanta, and
+	// a real spy keeps listening for as long as it can.
+	proto := channels.Protocol{
+		Message: cfg.Message,
+		BPS:     cfg.BandwidthBPS,
+		Start:   0,
+		Seed:    cfg.Seed,
+		Repeat:  true,
+	}
+	switch sc.Channel {
+	case ChannelMemoryBus:
+		c := channels.DefaultBusConfig(cfg.Message, cfg.BandwidthBPS)
+		c.Protocol = proto
+		c.EvasionNoise = sc.EvasionNoise
+		spy := channels.NewBusSpy(c)
+		system.Spawn(channels.NewBusTrojan(c), sim.Pin(0))
+		system.Spawn(spy, sim.Pin(2))
+		return func(r *Result) {
+			r.Decoded = spy.Decoded()
+			r.PerBitSeries = spy.PerBitLatency()
+		}
+	case ChannelIntegerDivider:
+		c := channels.DefaultDivConfig(cfg.Message, cfg.BandwidthBPS)
+		c.Protocol = proto
+		spy := channels.NewDivSpy(c)
+		system.Spawn(channels.NewDivTrojan(c), sim.Pin(0))
+		system.Spawn(spy, sim.Pin(1))
+		return func(r *Result) {
+			r.Decoded = spy.Decoded()
+			r.PerBitSeries = spy.PerBitLatency()
+		}
+	case ChannelSharedCache:
+		c := channels.DefaultCacheConfig(cfg.Message, cfg.BandwidthBPS)
+		c.Protocol = proto
+		c.SetsUsed = cfg.CacheSets
+		// Redundancy scales with the slot: low-bandwidth bits repeat
+		// their prime/probe rounds (the "certain number of conflicts
+		// needed to reliably transmit a bit", §VI-A), which also puts
+		// several oscillation periods into each observation window.
+		slot := uint64(2_500_000_000 / cfg.BandwidthBPS)
+		roundCost := uint64(cfg.CacheSets) * 2_700 // fill + double probe
+		rounds := sc.CacheRounds
+		if rounds <= 0 {
+			rounds = int(slot / (2 * roundCost))
+		}
+		if rounds < 1 {
+			rounds = 1
+		}
+		if rounds > 8 {
+			rounds = 8
+		}
+		c.RoundsPerBit = rounds
+		c.MaxBurstCycles = uint64(rounds) * roundCost * 13 / 10
+		spy := channels.NewCacheSpy(c)
+		// Trojan and spy on different cores, sharing only the L2 — the
+		// cross-VM arrangement of Xu et al.
+		system.Spawn(channels.NewCacheTrojan(c), sim.Pin(0))
+		system.Spawn(spy, sim.Pin(2))
+		return func(r *Result) {
+			r.Decoded = spy.Decoded()
+			r.PerBitSeries = spy.PerBitRatio()
+		}
+	default:
+		return func(*Result) {}
+	}
+}
