@@ -251,10 +251,10 @@ func BenchmarkConflictTrackerAblation(b *testing.B) {
 // BenchmarkTrackerMicro compares the trackers' per-access cost on a
 // random access stream.
 func BenchmarkTrackerMicro(b *testing.B) {
-	c := cache.New(cache.Config{SizeBytes: 1 << 20, LineBytes: 64, Ways: 8, HitLatency: 12})
+	c := cache.MustNew(cache.Config{SizeBytes: 1 << 20, LineBytes: 64, Ways: 8, HitLatency: 12})
 	trackers := map[string]conflict.Tracker{
-		"generational":    conflict.NewGenerational(conflict.GenerationalConfig{TotalBlocks: c.NumBlocks()}),
-		"ideal-lru-stack": conflict.NewIdeal(c.NumBlocks()),
+		"generational":    conflict.MustNewGenerational(conflict.GenerationalConfig{TotalBlocks: c.NumBlocks()}),
+		"ideal-lru-stack": conflict.MustNewIdeal(c.NumBlocks()),
 	}
 	for name, tr := range trackers {
 		b.Run(name, func(b *testing.B) {

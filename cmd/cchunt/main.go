@@ -5,13 +5,15 @@
 //
 //	cchunt -channel bus|divider|cache|none [-bps 1000] [-bits 64]
 //	       [-sets 512] [-workloads gobmk,sjeng] [-quanta 0]
-//	       [-quantum 250000000] [-divisor 1] [-ideal] [-seed 1] [-v]
+//	       [-quantum 250000000] [-divisor 1] [-ideal] [-seed 1]
+//	       [-faults drop=0.05,jitter=200] [-v]
 //
 // Examples:
 //
 //	cchunt -channel bus -bps 1000            # detect a bus channel
 //	cchunt -channel cache -sets 256 -v       # cache channel, verbose
 //	cchunt -channel none -workloads stream,stream   # false-alarm check
+//	cchunt -channel bus -faults drop=0.05    # degraded sensor path
 package main
 
 import (
@@ -35,6 +37,8 @@ func main() {
 	divisor := flag.Int("divisor", 1, "oscillation observation windows per quantum")
 	ideal := flag.Bool("ideal", false, "use the ideal LRU-stack conflict tracker")
 	mitigation := flag.String("mitigation", "", "defense to apply: buslimit, partition, tdm, clockfuzz")
+	faultSpec := flag.String("faults", "", "sensor fault spec, comma-separated key=value (keys: "+
+		strings.Join(cchunter.FaultSpecKeys(), ", ")+")")
 	seed := flag.Uint64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print histograms and per-window detail")
 	flag.Parse()
@@ -42,6 +46,23 @@ func main() {
 	if *list {
 		fmt.Println("workloads:", strings.Join(cchunter.WorkloadNames(), ", "))
 		return
+	}
+
+	// Validate enumerated flags up front: a typo'd channel or mitigation
+	// is a usage error (exit 2 with usage), not a runtime failure.
+	switch *channel {
+	case "bus", "divider", "cache", "none", "":
+	default:
+		usageError("unknown channel %q (want bus, divider, cache, or none)", *channel)
+	}
+	switch *mitigation {
+	case "", "buslimit", "partition", "tdm", "clockfuzz":
+	default:
+		usageError("unknown mitigation %q (want buslimit, partition, tdm, or clockfuzz)", *mitigation)
+	}
+	faultCfg, err := cchunter.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		usageError("bad -faults spec: %v", err)
 	}
 
 	sc := cchunter.Scenario{
@@ -54,6 +75,7 @@ func main() {
 		ObservationDivisor: *divisor,
 		IdealTracker:       *ideal,
 		Mitigation:         *mitigation,
+		Faults:             faultCfg,
 		Seed:               *seed,
 	}
 	if *workloads != "" {
@@ -74,6 +96,10 @@ func main() {
 	if sc.Channel != cchunter.ChannelNone {
 		fmt.Printf("channel: %s at %g bps, %d bits decoded, %d errors\n",
 			sc.Channel, *bps, len(res.Decoded), res.BitErrors)
+	}
+	if fs := res.FaultStats; fs != nil {
+		fmt.Printf("sensor faults: %d/%d events lost (%.1f%%), %d corrupted\n",
+			fs.Lost(), fs.Seen, 100*fs.LossRate(), fs.CtxFlipped+fs.CtxSmeared)
 	}
 	fmt.Println(res.Report)
 
@@ -97,4 +123,12 @@ func main() {
 	if res.Report.Detected {
 		os.Exit(1) // grep-able and script-friendly: alarm = non-zero
 	}
+}
+
+// usageError prints a message plus flag usage and exits 2, the
+// conventional "bad invocation" code (distinct from exit 1 = alarm).
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cchunt: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -6,7 +6,9 @@
 //	ccrepro [-fig all|2,3,6,8,...] [-out out/] [-scale 100] [-seed 1]
 //	        [-messages 32] [-quanta 64]
 //
-// Figure ids: 2 3 4 5 6 7 8 10 11 12 13 14 and "t1" for Table I.
+// Figure ids: 2 3 4 5 6 7 8 10 11 12 13 14, "t1" for Table I, "m"
+// for the mitigation study, "e" for the evasion study, and "r" for
+// the sensor fault robustness sweep.
 // -scale 1 runs at full paper scale (slow); the default 100× preserves
 // every quantity the detector depends on (see DESIGN.md).
 package main
@@ -23,7 +25,7 @@ import (
 )
 
 func main() {
-	figs := flag.String("fig", "all", "comma-separated figure ids (2..14, t1, m=mitigation, e=evasion) or 'all'")
+	figs := flag.String("fig", "all", "comma-separated figure ids (2..14, t1, m=mitigation, e=evasion, r=robustness) or 'all'")
 	outDir := flag.String("out", "out", "directory for CSV output")
 	scale := flag.Float64("scale", 100, "time scale (1 = full paper scale)")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -38,7 +40,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *figs == "all" {
-		for _, f := range []string{"2", "3", "4", "5", "6", "7", "8", "10", "11", "12", "13", "14", "t1", "m", "e"} {
+		for _, f := range []string{"2", "3", "4", "5", "6", "7", "8", "10", "11", "12", "13", "14", "t1", "m", "e", "r"} {
 			want[f] = true
 		}
 	} else {
@@ -82,6 +84,7 @@ func main() {
 		{"t1", func() (string, interface{}) { r := experiments.TableI(); return r.Summary(), r }},
 		{"m", func() (string, interface{}) { r := experiments.ExtMitigation(opts); return r.Summary(), r }},
 		{"e", func() (string, interface{}) { r := experiments.ExtEvasion(opts); return r.Summary(), r }},
+		{"r", func() (string, interface{}) { r := experiments.Robustness(opts); return r.Summary(), r }},
 	}
 
 	for _, s := range steps {

@@ -3,6 +3,7 @@ package cchunter
 import (
 	"cchunter/internal/auditor"
 	"cchunter/internal/core"
+	"cchunter/internal/faults"
 	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
@@ -46,7 +47,25 @@ type (
 	EventKind = trace.Kind
 	// Peak is a local maximum in an autocorrelogram.
 	Peak = stats.Peak
+	// FaultConfig describes a sensor fault injection profile for the
+	// event path between the hardware units and the CC-Auditor.
+	FaultConfig = faults.Config
+	// FaultStats counts what a run's fault injector did to the stream.
+	FaultStats = faults.Stats
+	// Degradation qualifies a verdict rendered from an imperfect
+	// sensor path (loss, saturation, confidence).
+	Degradation = core.Degradation
 )
+
+// ParseFaultSpec parses a comma-separated key=value fault
+// specification (e.g. "drop=0.05,jitter=200,seed=7") into a
+// FaultConfig; see FaultSpecKeys for the vocabulary.
+func ParseFaultSpec(spec string) (FaultConfig, error) {
+	return faults.ParseSpec(spec)
+}
+
+// FaultSpecKeys lists the keys ParseFaultSpec understands.
+func FaultSpecKeys() []string { return faults.SpecKeys() }
 
 // Indicator event kinds.
 const (

@@ -62,6 +62,10 @@ const MaxMonitoredUnits = 2
 // program the auditor.
 var ErrNotPrivileged = errors.New("auditor: programming requires privilege")
 
+// ErrBadConfig is wrapped by every configuration validation error in
+// this package.
+var ErrBadConfig = errors.New("auditor: bad configuration")
+
 // QuantumHistogram is one monitored unit's event-density histogram for
 // one OS time quantum, as recorded by the software daemon.
 type QuantumHistogram struct {
@@ -84,6 +88,10 @@ type slot struct {
 	records     []QuantumHistogram
 	bins        int
 	quantumLen  uint64
+
+	windows     uint64 // Δt windows closed so far
+	saturations uint64 // windows whose 16-bit accumulator hit its ceiling
+	satThisWin  bool
 }
 
 func newSlot(kind trace.Kind, deltaT uint64, bins int, quantumLen uint64) *slot {
@@ -108,6 +116,11 @@ func (s *slot) advance(cycle uint64) {
 func (s *slot) closeWindow() {
 	s.hist.Add(int(s.accum))
 	s.accum = 0
+	s.windows++
+	if s.satThisWin {
+		s.saturations++
+		s.satThisWin = false
+	}
 	s.windowStart += s.deltaT
 	if s.windowStart >= (s.quantum+1)*s.quantumLen {
 		s.records = append(s.records, QuantumHistogram{Quantum: s.quantum, Hist: s.hist})
@@ -120,7 +133,21 @@ func (s *slot) onEvent(cycle uint64) {
 	s.advance(cycle)
 	if s.accum < ^uint16(0) {
 		s.accum++
+	} else {
+		// The real register saturates rather than wrapping; remember
+		// that this window's count is a floor, not an exact density.
+		s.satThisWin = true
 	}
+}
+
+// histogramClamped sums the windows clamped into the top histogram bin
+// across recorded quanta plus the still-open one.
+func (s *slot) histogramClamped() uint64 {
+	var n uint64
+	for _, rec := range s.records {
+		n += rec.Hist.Clamped()
+	}
+	return n + s.hist.Clamped()
 }
 
 // Auditor is the CC-Auditor hardware instance. It implements
@@ -131,18 +158,36 @@ type Auditor struct {
 	osc   *oscillator
 }
 
-// New builds an auditor.
-func New(cfg Config) *Auditor {
-	if cfg.HistogramBins <= 0 {
+// New builds an auditor. A zero HistogramBins or VectorBytes selects
+// the paper's 128; a zero quantum is a configuration error (the
+// software daemon would never drain the buffers).
+func New(cfg Config) (*Auditor, error) {
+	if cfg.HistogramBins < 0 {
+		return nil, fmt.Errorf("%w: negative histogram depth %d", ErrBadConfig, cfg.HistogramBins)
+	}
+	if cfg.VectorBytes < 0 {
+		return nil, fmt.Errorf("%w: negative vector register size %d", ErrBadConfig, cfg.VectorBytes)
+	}
+	if cfg.HistogramBins == 0 {
 		cfg.HistogramBins = 128
 	}
-	if cfg.VectorBytes <= 0 {
+	if cfg.VectorBytes == 0 {
 		cfg.VectorBytes = 128
 	}
 	if cfg.QuantumCycles == 0 {
-		panic("auditor: quantum must be positive")
+		return nil, fmt.Errorf("%w: quantum must be positive", ErrBadConfig)
 	}
-	return &Auditor{cfg: cfg}
+	return &Auditor{cfg: cfg}, nil
+}
+
+// MustNew is New for configurations known to be valid (internal
+// wiring, tests); it panics on error.
+func MustNew(cfg Config) *Auditor {
+	a, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 // Monitor programs the auditor to watch the given indicator event with
@@ -264,4 +309,74 @@ func (a *Auditor) DroppedConflicts() uint64 {
 		return 0
 	}
 	return a.osc.dropped
+}
+
+// SlotIntegrity describes one monitored unit's counting-path health:
+// how trustworthy its recorded densities are.
+type SlotIntegrity struct {
+	// Windows is the number of Δt windows closed so far.
+	Windows uint64
+	// AccumSaturations counts windows whose 16-bit accumulator hit its
+	// ceiling: the recorded density is a floor, not an exact count.
+	AccumSaturations uint64
+	// HistogramClamped counts windows folded into the top histogram
+	// bin because their density exceeded the buffer depth.
+	HistogramClamped uint64
+}
+
+// SaturationRate is the fraction of windows with a saturated count.
+func (i SlotIntegrity) SaturationRate() float64 {
+	if i.Windows == 0 {
+		return 0
+	}
+	return float64(i.AccumSaturations+i.HistogramClamped) / float64(i.Windows)
+}
+
+// Integrity returns the counting-path diagnostics for a monitored
+// event kind (zero value when the kind is not monitored).
+func (a *Auditor) Integrity(kind trace.Kind) SlotIntegrity {
+	for _, s := range a.slots {
+		if s.kind == kind {
+			return SlotIntegrity{
+				Windows:          s.windows,
+				AccumSaturations: s.saturations,
+				HistogramClamped: s.histogramClamped(),
+			}
+		}
+	}
+	return SlotIntegrity{}
+}
+
+// ConflictIntegrity describes the conflict-capture path's health.
+type ConflictIntegrity struct {
+	// Recorded is the number of entries in the drained train.
+	Recorded uint64
+	// Dropped counts conflict misses lost to full vector registers.
+	Dropped uint64
+	// ClampedTimestamps counts entries whose arrival order contradicted
+	// their timestamps and were clamped on ingest (a degraded or
+	// reordered sensor path; zero on a healthy pipeline).
+	ClampedTimestamps uint64
+}
+
+// LossRate is the fraction of observed conflict misses never recorded.
+func (i ConflictIntegrity) LossRate() float64 {
+	total := i.Recorded + i.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(i.Dropped) / float64(total)
+}
+
+// ConflictIntegrity returns the conflict-capture diagnostics (zero
+// value when conflict monitoring is off).
+func (a *Auditor) ConflictIntegrity() ConflictIntegrity {
+	if a.osc == nil {
+		return ConflictIntegrity{}
+	}
+	return ConflictIntegrity{
+		Recorded:          uint64(a.osc.train.Len()),
+		Dropped:           a.osc.dropped,
+		ClampedTimestamps: a.osc.clamped,
+	}
 }

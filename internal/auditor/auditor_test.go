@@ -16,7 +16,7 @@ func confEvent(cycle uint64, set uint32, actor, victim uint8) trace.Event {
 }
 
 func TestMonitorSlots(t *testing.T) {
-	a := New(DefaultConfig(1000))
+	a := MustNew(DefaultConfig(1000))
 	if err := a.Monitor(trace.KindBusLock, 100); err != nil {
 		t.Fatal(err)
 	}
@@ -40,14 +40,14 @@ func TestMonitorSlots(t *testing.T) {
 }
 
 func TestMonitorErrors(t *testing.T) {
-	a := New(DefaultConfig(1000))
+	a := MustNew(DefaultConfig(1000))
 	if err := a.Monitor(trace.KindConflictMiss, 10); err == nil {
 		t.Error("conflict kind must be rejected by Monitor")
 	}
 	if err := a.Monitor(trace.KindBusLock, 0); err == nil {
 		t.Error("zero deltaT must be rejected")
 	}
-	unpriv := New(Config{HistogramBins: 8, VectorBytes: 8, QuantumCycles: 100, Privileged: false})
+	unpriv := MustNew(Config{HistogramBins: 8, VectorBytes: 8, QuantumCycles: 100, Privileged: false})
 	if err := unpriv.Monitor(trace.KindBusLock, 10); err != ErrNotPrivileged {
 		t.Errorf("unprivileged Monitor error = %v", err)
 	}
@@ -57,7 +57,7 @@ func TestMonitorErrors(t *testing.T) {
 }
 
 func TestDensityHistogramAccumulation(t *testing.T) {
-	a := New(DefaultConfig(1000)) // quantum 1000, deltaT 100
+	a := MustNew(DefaultConfig(1000)) // quantum 1000, deltaT 100
 	if err := a.Monitor(trace.KindBusLock, 100); err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestDensityHistogramAccumulation(t *testing.T) {
 }
 
 func TestQuantumRollover(t *testing.T) {
-	a := New(DefaultConfig(1000))
+	a := MustNew(DefaultConfig(1000))
 	if err := a.Monitor(trace.KindBusLock, 100); err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestQuantumRollover(t *testing.T) {
 }
 
 func TestMergedHistogram(t *testing.T) {
-	a := New(DefaultConfig(1000))
+	a := MustNew(DefaultConfig(1000))
 	if err := a.Monitor(trace.KindBusLock, 100); err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestMergedHistogram(t *testing.T) {
 }
 
 func TestOscillatorDedupPerSetRun(t *testing.T) {
-	a := New(DefaultConfig(1000))
+	a := MustNew(DefaultConfig(1000))
 	if err := a.MonitorConflicts(); err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestOscillatorDedupPerSetRun(t *testing.T) {
 func TestOscillatorVectorRegisterSwap(t *testing.T) {
 	cfg := DefaultConfig(1000)
 	cfg.VectorBytes = 4
-	a := New(cfg)
+	a := MustNew(cfg)
 	if err := a.MonitorConflicts(); err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestOscillatorVectorRegisterSwap(t *testing.T) {
 }
 
 func TestConflictTrainNilWithoutMonitoring(t *testing.T) {
-	a := New(DefaultConfig(1000))
+	a := MustNew(DefaultConfig(1000))
 	if a.ConflictTrain() != nil {
 		t.Error("train should be nil before MonitorConflicts")
 	}
@@ -178,7 +178,7 @@ func TestConflictTrainNilWithoutMonitoring(t *testing.T) {
 }
 
 func TestEventsForUnmonitoredKindIgnored(t *testing.T) {
-	a := New(DefaultConfig(1000))
+	a := MustNew(DefaultConfig(1000))
 	if err := a.Monitor(trace.KindBusLock, 100); err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestCostScalesWithSize(t *testing.T) {
 }
 
 func TestAccumulatorSaturates(t *testing.T) {
-	a := New(DefaultConfig(1_000_000))
+	a := MustNew(DefaultConfig(1_000_000))
 	if err := a.Monitor(trace.KindBusLock, 1_000_000); err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,7 @@ type oscillator struct {
 	train    *trace.Train
 	swaps    uint64
 	dropped  uint64
+	clamped  uint64 // entries whose timestamps arrived out of order
 
 	havePrev bool
 	prevSet  uint32
@@ -55,10 +56,16 @@ func (o *oscillator) onEvent(e trace.Event) {
 }
 
 // drainActive moves the full register's contents into the software-
-// side train (the daemon's background copy).
+// side train (the daemon's background copy). A degraded sensor path
+// (timestamp jitter, bounded reordering) can deliver entries whose
+// cycles run backwards; the daemon clamps them on ingest — as arrival-
+// time stamping hardware would — and counts the clamps so the detector
+// can qualify its verdict.
 func (o *oscillator) drainActive() {
 	for _, e := range o.active {
-		o.train.Append(e)
+		if o.train.AppendClamped(e) {
+			o.clamped++
+		}
 	}
 	o.active = o.active[:0]
 }

@@ -6,7 +6,14 @@
 // reached full capacity — i.e. a conflict miss.
 package bloom
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig is wrapped by every configuration validation error in
+// this package.
+var ErrBadConfig = errors.New("bloom: bad configuration")
 
 // Filter is a standard Bloom filter with k independent hash functions
 // derived from a 128-bit double hash. The zero value is not usable; use
@@ -21,19 +28,29 @@ type Filter struct {
 // New returns a Bloom filter with nbits bits and k hash functions. The
 // paper's tracker uses k=3 and 4×N bits for an N-block cache; both are
 // choices of the caller. nbits is rounded up to a multiple of 64.
-func New(nbits int, k int) *Filter {
+func New(nbits int, k int) (*Filter, error) {
 	if nbits <= 0 {
-		panic("bloom: filter needs a positive number of bits")
+		return nil, fmt.Errorf("%w: filter needs a positive number of bits, got %d", ErrBadConfig, nbits)
 	}
 	if k <= 0 {
-		panic("bloom: filter needs at least one hash function")
+		return nil, fmt.Errorf("%w: filter needs at least one hash function, got %d", ErrBadConfig, k)
 	}
 	words := (nbits + 63) / 64
 	return &Filter{
 		bits:   make([]uint64, words),
 		nbits:  uint64(words * 64),
 		hashes: k,
+	}, nil
+}
+
+// MustNew is New for sizes known to be valid (internal wiring from
+// already-validated configurations); it panics on error.
+func MustNew(nbits int, k int) *Filter {
+	f, err := New(nbits, k)
+	if err != nil {
+		panic(err)
 	}
+	return f
 }
 
 // mix64 is the splitmix64 finalizer; a cheap, well-distributed 64-bit

@@ -1,6 +1,7 @@
 package bloom
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -9,7 +10,7 @@ import (
 )
 
 func TestNoFalseNegatives(t *testing.T) {
-	f := New(4096, 3)
+	f := MustNew(4096, 3)
 	r := stats.NewRNG(1)
 	keys := make([]uint64, 200)
 	for i := range keys {
@@ -29,7 +30,7 @@ func TestNoFalseNegatives(t *testing.T) {
 func TestNoFalseNegativesProperty(t *testing.T) {
 	fn := func(seed uint64) bool {
 		r := stats.NewRNG(seed)
-		f := New(64+r.Intn(2048), 1+r.Intn(4))
+		f := MustNew(64+r.Intn(2048), 1+r.Intn(4))
 		n := r.Intn(100)
 		keys := make([]uint64, n)
 		for i := range keys {
@@ -51,7 +52,7 @@ func TestNoFalseNegativesProperty(t *testing.T) {
 func TestFalsePositiveRateReasonable(t *testing.T) {
 	// 4 bits per key with k=3: classical FPR ~14.7%. Verify empirical
 	// FPR is in the right ballpark and the estimator is close to it.
-	f := New(4096, 3)
+	f := MustNew(4096, 3)
 	r := stats.NewRNG(2)
 	for i := 0; i < 1024; i++ {
 		f.Add(r.Uint64())
@@ -74,7 +75,7 @@ func TestFalsePositiveRateReasonable(t *testing.T) {
 }
 
 func TestClear(t *testing.T) {
-	f := New(256, 3)
+	f := MustNew(256, 3)
 	f.Add(42)
 	f.Clear()
 	if f.Added() != 0 {
@@ -91,7 +92,7 @@ func TestClear(t *testing.T) {
 }
 
 func TestSizeRounding(t *testing.T) {
-	f := New(65, 2)
+	f := MustNew(65, 2)
 	if f.Bits() != 128 {
 		t.Errorf("Bits = %d, want 128 (rounded up to word)", f.Bits())
 	}
@@ -100,20 +101,29 @@ func TestSizeRounding(t *testing.T) {
 	}
 }
 
-func TestConstructorPanics(t *testing.T) {
-	for name, fn := range map[string]func(){
-		"zero bits":   func() { New(0, 3) },
-		"zero hashes": func() { New(64, 0) },
+func TestConstructorErrors(t *testing.T) {
+	for name, fn := range map[string]func() (*Filter, error){
+		"zero bits":   func() (*Filter, error) { return New(0, 3) },
+		"zero hashes": func() (*Filter, error) { return New(64, 0) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			fn()
-		}()
+		f, err := fn()
+		if err == nil || f != nil {
+			t.Errorf("%s: expected error, got %v", name, f)
+			continue
+		}
+		if !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: error %v does not wrap ErrBadConfig", name, err)
+		}
 	}
+}
+
+func TestMustNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(0, 3)
 }
 
 func TestExpNeg(t *testing.T) {
@@ -129,7 +139,7 @@ func TestExpNeg(t *testing.T) {
 }
 
 func TestFillRatioMonotone(t *testing.T) {
-	f := New(1024, 3)
+	f := MustNew(1024, 3)
 	r := stats.NewRNG(3)
 	prev := 0.0
 	for i := 0; i < 100; i++ {
@@ -146,7 +156,7 @@ func TestFillRatioMonotone(t *testing.T) {
 }
 
 func TestString(t *testing.T) {
-	f := New(128, 3)
+	f := MustNew(128, 3)
 	f.Add(1)
 	if s := f.String(); s == "" {
 		t.Error("String empty")

@@ -6,7 +6,14 @@
 // (replacer → victim) pairs.
 package cache
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig is wrapped by every configuration validation error in
+// this package.
+var ErrBadConfig = errors.New("cache: bad configuration")
 
 // Config describes one cache level.
 type Config struct {
@@ -53,23 +60,25 @@ type Cache struct {
 	hits, misses, evictions uint64
 }
 
-// New builds a cache from cfg. It panics on an inconsistent geometry;
-// configurations are wired by code, not user input, so a bad one is a
+// New builds a cache from cfg, rejecting inconsistent geometries with
+// an error wrapping ErrBadConfig. Cache configurations reach here from
+// user-settable machine descriptions, so a bad one is input, not a
 // programming error.
-func New(cfg Config) *Cache {
+func New(cfg Config) (*Cache, error) {
 	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
-		panic(fmt.Sprintf("cache: line size %d not a power of two", cfg.LineBytes))
+		return nil, fmt.Errorf("%w: line size %d not a power of two", ErrBadConfig, cfg.LineBytes)
 	}
 	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
-		panic("cache: size and ways must be positive")
+		return nil, fmt.Errorf("%w: size %d and ways %d must be positive", ErrBadConfig, cfg.SizeBytes, cfg.Ways)
 	}
 	blocks := cfg.SizeBytes / cfg.LineBytes
 	if blocks%cfg.Ways != 0 {
-		panic("cache: capacity not divisible into ways")
+		return nil, fmt.Errorf("%w: capacity %dB not divisible into %d ways of %dB lines",
+			ErrBadConfig, cfg.SizeBytes, cfg.Ways, cfg.LineBytes)
 	}
 	nsets := blocks / cfg.Ways
 	if nsets&(nsets-1) != 0 {
-		panic(fmt.Sprintf("cache: %d sets is not a power of two", nsets))
+		return nil, fmt.Errorf("%w: %d sets is not a power of two", ErrBadConfig, nsets)
 	}
 	shift := uint(0)
 	for 1<<shift < cfg.LineBytes {
@@ -86,7 +95,17 @@ func New(cfg Config) *Cache {
 		lineShift: shift,
 		setMask:   uint64(nsets - 1),
 		sets:      sets,
+	}, nil
+}
+
+// MustNew is New for geometries known to be valid (tests, hardcoded
+// defaults); it panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // Result describes the effect of one access.

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -9,41 +10,50 @@ import (
 
 func small() *Cache {
 	// 4 sets × 2 ways × 64 B lines.
-	return New(Config{SizeBytes: 512, LineBytes: 64, Ways: 2, HitLatency: 4})
+	return MustNew(Config{SizeBytes: 512, LineBytes: 64, Ways: 2, HitLatency: 4})
 }
 
 func TestGeometry(t *testing.T) {
-	c := New(DefaultL2())
+	c := MustNew(DefaultL2())
 	if c.NumSets() != 512 {
 		t.Errorf("L2 sets = %d, want 512 (paper geometry)", c.NumSets())
 	}
 	if c.NumBlocks() != 4096 || c.Ways() != 8 || c.LineBytes() != 64 {
 		t.Errorf("L2 geometry: blocks=%d ways=%d line=%d", c.NumBlocks(), c.Ways(), c.LineBytes())
 	}
-	l1 := New(DefaultL1())
+	l1 := MustNew(DefaultL1())
 	if l1.NumSets() != 64 {
 		t.Errorf("L1 sets = %d, want 64", l1.NumSets())
 	}
-	if l1.HitLatency() >= New(DefaultL2()).HitLatency() {
+	if l1.HitLatency() >= MustNew(DefaultL2()).HitLatency() {
 		t.Error("L1 should be faster than L2")
 	}
 }
 
-func TestBadGeometryPanics(t *testing.T) {
+func TestBadGeometryErrors(t *testing.T) {
 	for name, cfg := range map[string]Config{
 		"line not power of two": {SizeBytes: 512, LineBytes: 48, Ways: 2},
 		"zero ways":             {SizeBytes: 512, LineBytes: 64, Ways: 0},
 		"sets not power of two": {SizeBytes: 3 * 64 * 2, LineBytes: 64, Ways: 2},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			New(cfg)
-		}()
+		c, err := New(cfg)
+		if err == nil || c != nil {
+			t.Errorf("%s: expected error, got %v", name, c)
+			continue
+		}
+		if !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: error %v does not wrap ErrBadConfig", name, err)
+		}
 	}
+}
+
+func TestMustNewPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(Config{SizeBytes: 512, LineBytes: 48, Ways: 2})
 }
 
 func TestMissThenHit(t *testing.T) {
@@ -109,7 +119,7 @@ func TestOwnerUpdatesOnAccess(t *testing.T) {
 }
 
 func TestAddrForSetRoundTrip(t *testing.T) {
-	c := New(DefaultL2())
+	c := MustNew(DefaultL2())
 	f := func(seed uint64) bool {
 		r := stats.NewRNG(seed)
 		set := uint32(r.Intn(c.NumSets()))
@@ -146,7 +156,7 @@ func TestAddrForSetOutOfRangePanics(t *testing.T) {
 func TestEvictionSetDefeatsResidency(t *testing.T) {
 	// Priming a set with `ways` fresh conflicting blocks evicts all
 	// previous residents — the covert channel's core mechanism.
-	c := New(DefaultL2())
+	c := MustNew(DefaultL2())
 	victim := c.AddrForSet(100, 0, 7)
 	c.Access(victim, 1)
 	for w := 0; w < c.Ways(); w++ {
@@ -161,7 +171,7 @@ func TestEvictionSetDefeatsResidency(t *testing.T) {
 }
 
 func TestNoCrossSetInterference(t *testing.T) {
-	c := New(DefaultL2())
+	c := MustNew(DefaultL2())
 	resident := c.AddrForSet(5, 0, 1)
 	c.Access(resident, 0)
 	// Hammer a different set hard.

@@ -77,7 +77,7 @@ func TestProtocolRepeat(t *testing.T) {
 func runBusChannel(t *testing.T, message []int, bps float64) (*BusSpy, *trace.Train) {
 	t.Helper()
 	cfg := DefaultBusConfig(message, bps)
-	s := sim.New(sim.TestConfig())
+	s := sim.MustNew(sim.TestConfig())
 	defer s.Close()
 	rec := trace.NewRecorder(trace.KindBusLock)
 	s.AddListener(rec)
@@ -129,7 +129,7 @@ func TestBusChannelLatencySeparation(t *testing.T) {
 func runDivChannel(t *testing.T, message []int, bps float64) (*DivSpy, *trace.Train) {
 	t.Helper()
 	cfg := DefaultDivConfig(message, bps)
-	s := sim.New(sim.TestConfig())
+	s := sim.MustNew(sim.TestConfig())
 	defer s.Close()
 	rec := trace.NewRecorder(trace.KindDivContention)
 	s.AddListener(rec)
@@ -179,9 +179,9 @@ func runCacheChannel(t *testing.T, message []int, bps float64, sets int) (*Cache
 	cfg := DefaultCacheConfig(message, bps)
 	cfg.SetsUsed = sets
 	simCfg := sim.TestConfig()
-	s := sim.New(simCfg)
+	s := sim.MustNew(simCfg)
 	defer s.Close()
-	aud := auditor.New(auditor.DefaultConfig(simCfg.QuantumCycles))
+	aud := auditor.MustNew(auditor.DefaultConfig(simCfg.QuantumCycles))
 	if err := aud.MonitorConflicts(); err != nil {
 		t.Fatal(err)
 	}

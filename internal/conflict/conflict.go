@@ -17,6 +17,15 @@
 // them.
 package conflict
 
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig is wrapped by every configuration validation error in
+// this package.
+var ErrBadConfig = errors.New("conflict: bad configuration")
+
 // Observation describes one access to the tracked cache, as reported
 // by the cache model.
 type Observation struct {
@@ -70,11 +79,21 @@ type node struct {
 }
 
 // NewIdeal returns an ideal tracker for a cache with capacity blocks.
-func NewIdeal(capacity int) *Ideal {
+func NewIdeal(capacity int) (*Ideal, error) {
 	if capacity <= 0 {
-		panic("conflict: capacity must be positive")
+		return nil, fmt.Errorf("%w: stack capacity %d must be positive", ErrBadConfig, capacity)
 	}
-	return &Ideal{capacity: capacity, nodes: make(map[uint64]*node, capacity)}
+	return &Ideal{capacity: capacity, nodes: make(map[uint64]*node, capacity)}, nil
+}
+
+// MustNewIdeal is NewIdeal for capacities known to be valid; it panics
+// on error.
+func MustNewIdeal(capacity int) *Ideal {
+	t, err := NewIdeal(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // Name implements Tracker.

@@ -1,6 +1,7 @@
 package conflict
 
 import (
+	"errors"
 	"testing"
 
 	"cchunter/internal/cache"
@@ -28,13 +29,13 @@ func driveCache(c *cache.Cache, tr Tracker, accesses [][2]uint64) []bool {
 
 func smallCache() *cache.Cache {
 	// 4 sets × 2 ways = 8 blocks.
-	return cache.New(cache.Config{SizeBytes: 512, LineBytes: 64, Ways: 2, HitLatency: 1})
+	return cache.MustNew(cache.Config{SizeBytes: 512, LineBytes: 64, Ways: 2, HitLatency: 1})
 }
 
 func trackersUnderTest(blocks int) map[string]Tracker {
 	return map[string]Tracker{
-		"ideal": NewIdeal(blocks),
-		"gen":   NewGenerational(GenerationalConfig{TotalBlocks: blocks, BloomBitsPerGen: 4096}),
+		"ideal": MustNewIdeal(blocks),
+		"gen":   MustNewGenerational(GenerationalConfig{TotalBlocks: blocks, BloomBitsPerGen: 4096}),
 	}
 }
 
@@ -74,7 +75,7 @@ func TestCapacityMissNotConflictForIdeal(t *testing.T) {
 	// to the first: it fell off the full LRU stack, so this is a
 	// capacity miss, not a conflict miss.
 	c := smallCache() // 8 blocks
-	tr := NewIdeal(8)
+	tr := MustNewIdeal(8)
 	var accesses [][2]uint64
 	first := c.AddrForSet(0, 0, 1)
 	accesses = append(accesses, [2]uint64{first, 0})
@@ -89,7 +90,7 @@ func TestCapacityMissNotConflictForIdeal(t *testing.T) {
 }
 
 func TestIdealStackEviction(t *testing.T) {
-	tr := NewIdeal(4)
+	tr := MustNewIdeal(4)
 	for i := uint64(0); i < 6; i++ {
 		tr.Observe(Observation{LineAddr: i, Hit: false})
 	}
@@ -107,7 +108,7 @@ func TestIdealStackEviction(t *testing.T) {
 }
 
 func TestIdealMoveToFrontKeepsHotLines(t *testing.T) {
-	tr := NewIdeal(3)
+	tr := MustNewIdeal(3)
 	tr.Observe(Observation{LineAddr: 1})
 	tr.Observe(Observation{LineAddr: 2})
 	tr.Observe(Observation{LineAddr: 3})
@@ -122,7 +123,7 @@ func TestIdealMoveToFrontKeepsHotLines(t *testing.T) {
 }
 
 func TestGenerationalTurnover(t *testing.T) {
-	g := NewGenerational(GenerationalConfig{TotalBlocks: 8})
+	g := MustNewGenerational(GenerationalConfig{TotalBlocks: 8})
 	// threshold = 2: every 2 distinct blocks advance a generation.
 	for i := uint64(0); i < 8; i++ {
 		g.Observe(Observation{LineAddr: i, Hit: false})
@@ -135,7 +136,7 @@ func TestGenerationalTurnover(t *testing.T) {
 func TestGenerationalForgetsOldEvictions(t *testing.T) {
 	// An eviction recorded in a generation must stop causing conflicts
 	// once that generation is discarded (4 turnovers later).
-	g := NewGenerational(GenerationalConfig{TotalBlocks: 8, BloomBitsPerGen: 4096})
+	g := MustNewGenerational(GenerationalConfig{TotalBlocks: 8, BloomBitsPerGen: 4096})
 	g.Observe(Observation{LineAddr: 100, Hit: false})
 	// Evict line 100 (recorded in current generation's bloom).
 	g.Observe(Observation{LineAddr: 101, Hit: false, Evicted: true, EvictedLine: 100})
@@ -164,8 +165,8 @@ func TestGenerationalMatchesIdealOnChannelPattern(t *testing.T) {
 	// within cache capacity for exactly this reason (see DESIGN.md).
 	cIdeal, cGen := smallCache(), smallCache()
 	blocks := 8
-	ideal := NewIdeal(blocks)
-	gen := NewGenerational(GenerationalConfig{TotalBlocks: blocks, BloomBitsPerGen: 8192})
+	ideal := MustNewIdeal(blocks)
+	gen := MustNewGenerational(GenerationalConfig{TotalBlocks: blocks, BloomBitsPerGen: 8192})
 	var accesses [][2]uint64
 	for round := 0; round < 100; round++ {
 		ctx := uint64(round % 2)
@@ -193,8 +194,8 @@ func TestGenerationalRandomTrafficLowConflictRate(t *testing.T) {
 	// A huge random working set produces capacity misses, not
 	// conflicts; the practical tracker must not drown in false
 	// positives (bloom FPs are possible but bounded).
-	c := cache.New(cache.DefaultL2())
-	g := NewGenerational(GenerationalConfig{TotalBlocks: c.NumBlocks()})
+	c := cache.MustNew(cache.DefaultL2())
+	g := MustNewGenerational(GenerationalConfig{TotalBlocks: c.NumBlocks()})
 	r := stats.NewRNG(5)
 	flagged := 0
 	n := 50000
@@ -223,7 +224,7 @@ func TestResetClearsState(t *testing.T) {
 }
 
 func TestHardwareCost(t *testing.T) {
-	g := NewGenerational(GenerationalConfig{TotalBlocks: 4096})
+	g := MustNewGenerational(GenerationalConfig{TotalBlocks: 4096})
 	bloomBits, metaBits := g.HardwareCost()
 	if bloomBits != 4*4096 {
 		t.Errorf("bloom bits = %d, want 4×N", bloomBits)
@@ -234,15 +235,38 @@ func TestHardwareCost(t *testing.T) {
 }
 
 func TestNames(t *testing.T) {
-	if NewIdeal(4).Name() == "" || NewGenerational(GenerationalConfig{TotalBlocks: 4}).Name() == "" {
+	if MustNewIdeal(4).Name() == "" || MustNewGenerational(GenerationalConfig{TotalBlocks: 4}).Name() == "" {
 		t.Error("trackers must have names")
 	}
 }
 
-func TestConstructorPanics(t *testing.T) {
+func TestConstructorErrors(t *testing.T) {
+	for name, f := range map[string]func() error{
+		"ideal zero": func() error { _, err := NewIdeal(0); return err },
+		"gen zero":   func() error { _, err := NewGenerational(GenerationalConfig{}); return err },
+		"neg bits": func() error {
+			_, err := NewGenerational(GenerationalConfig{TotalBlocks: 8, BloomBitsPerGen: -1})
+			return err
+		},
+		"neg hashes":   func() error { _, err := NewGenerational(GenerationalConfig{TotalBlocks: 8, Hashes: -1}); return err },
+		"ideal neg":    func() error { _, err := NewIdeal(-4); return err },
+		"gen negative": func() error { _, err := NewGenerational(GenerationalConfig{TotalBlocks: -1}); return err },
+	} {
+		err := f()
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+			continue
+		}
+		if !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: error %v does not wrap ErrBadConfig", name, err)
+		}
+	}
+}
+
+func TestMustConstructorsPanicOnBadConfig(t *testing.T) {
 	for name, f := range map[string]func(){
-		"ideal zero": func() { NewIdeal(0) },
-		"gen zero":   func() { NewGenerational(GenerationalConfig{}) },
+		"ideal": func() { MustNewIdeal(0) },
+		"gen":   func() { MustNewGenerational(GenerationalConfig{}) },
 	} {
 		func() {
 			defer func() {

@@ -1,6 +1,10 @@
 package conflict
 
-import "cchunter/internal/bloom"
+import (
+	"fmt"
+
+	"cchunter/internal/bloom"
+)
 
 // numGenerations is fixed at four by the paper's design: four
 // generation bits per cache block and four Bloom filters.
@@ -56,9 +60,15 @@ type GenerationalConfig struct {
 }
 
 // NewGenerational builds the practical tracker.
-func NewGenerational(cfg GenerationalConfig) *Generational {
+func NewGenerational(cfg GenerationalConfig) (*Generational, error) {
 	if cfg.TotalBlocks <= 0 {
-		panic("conflict: TotalBlocks must be positive")
+		return nil, fmt.Errorf("%w: TotalBlocks %d must be positive", ErrBadConfig, cfg.TotalBlocks)
+	}
+	if cfg.BloomBitsPerGen < 0 {
+		return nil, fmt.Errorf("%w: BloomBitsPerGen %d negative", ErrBadConfig, cfg.BloomBitsPerGen)
+	}
+	if cfg.Hashes < 0 {
+		return nil, fmt.Errorf("%w: Hashes %d negative", ErrBadConfig, cfg.Hashes)
 	}
 	if cfg.BloomBitsPerGen == 0 {
 		cfg.BloomBitsPerGen = cfg.TotalBlocks
@@ -77,7 +87,18 @@ func NewGenerational(cfg GenerationalConfig) *Generational {
 		g.threshold = 1
 	}
 	for i := range g.filters {
-		g.filters[i] = bloom.New(cfg.BloomBitsPerGen, cfg.Hashes)
+		// Parameters were validated above; a failure here is a bug.
+		g.filters[i] = bloom.MustNew(cfg.BloomBitsPerGen, cfg.Hashes)
+	}
+	return g, nil
+}
+
+// MustNewGenerational is NewGenerational for configurations known to
+// be valid; it panics on error.
+func MustNewGenerational(cfg GenerationalConfig) *Generational {
+	g, err := NewGenerational(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return g
 }

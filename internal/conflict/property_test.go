@@ -13,8 +13,8 @@ import (
 func TestFirstTouchNeverConflicts(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := stats.NewRNG(seed)
-		ideal := NewIdeal(64)
-		gen := NewGenerational(GenerationalConfig{TotalBlocks: 64})
+		ideal := MustNewIdeal(64)
+		gen := MustNewGenerational(GenerationalConfig{TotalBlocks: 64})
 		seen := map[uint64]bool{}
 		for i := 0; i < 200; i++ {
 			line := uint64(r.Intn(500))
@@ -40,8 +40,8 @@ func TestHitsNeverConflict(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := stats.NewRNG(seed)
 		trackers := []Tracker{
-			NewIdeal(32),
-			NewGenerational(GenerationalConfig{TotalBlocks: 32}),
+			MustNewIdeal(32),
+			MustNewGenerational(GenerationalConfig{TotalBlocks: 32}),
 		}
 		for i := 0; i < 300; i++ {
 			o := Observation{
@@ -67,9 +67,9 @@ func TestHitsNeverConflict(t *testing.T) {
 // reuse-distance computation (a miss is a conflict iff fewer than
 // `capacity` distinct lines were touched since the last access).
 func TestIdealAgreesWithDefinition(t *testing.T) {
-	c := cache.New(cache.Config{SizeBytes: 2048, LineBytes: 64, Ways: 2, HitLatency: 1})
+	c := cache.MustNew(cache.Config{SizeBytes: 2048, LineBytes: 64, Ways: 2, HitLatency: 1})
 	capacity := c.NumBlocks() // 32
-	tr := NewIdeal(capacity)
+	tr := MustNewIdeal(capacity)
 	r := stats.NewRNG(77)
 	var history []uint64
 	for i := 0; i < 3000; i++ {
@@ -102,7 +102,7 @@ func TestIdealAgreesWithDefinition(t *testing.T) {
 // than 4 full generations (≥ N distinct touches) must not be flagged —
 // its eviction is no longer premature.
 func TestGenerationalNeverFlagsBeyondHorizon(t *testing.T) {
-	g := NewGenerational(GenerationalConfig{TotalBlocks: 16}) // threshold 4
+	g := MustNewGenerational(GenerationalConfig{TotalBlocks: 16}) // threshold 4
 	g.Observe(Observation{LineAddr: 9999, Hit: false})
 	g.Observe(Observation{LineAddr: 9998, Hit: false, Evicted: true, EvictedLine: 9999})
 	// 5 generations' worth of distinct touches.

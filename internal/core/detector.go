@@ -22,6 +22,11 @@ type DetectorConfig struct {
 	// 0.25× of a quantum — detect low-bandwidth channels more
 	// effectively). 1 analyzes whole quanta.
 	ObservationDivisor int
+	// UpstreamLossRate is the fraction of indicator events known to
+	// have been lost *before* the auditor saw them (a fault injector or
+	// a real telemetry path that reports its own drops). It folds into
+	// every verdict's Degradation; 0 for a pristine sensor path.
+	UpstreamLossRate float64
 }
 
 // DefaultDetectorConfig returns the paper-calibrated detector for a
@@ -35,11 +40,66 @@ func DefaultDetectorConfig(quantumCycles uint64, contexts int) DetectorConfig {
 	}
 }
 
+// Degradation qualifies a verdict rendered from an imperfect sensor
+// path. A detector that keeps producing verdicts under dropped or
+// saturated events must say how much it saw; "no channel" from a
+// sensor that lost half its events is a different statement than "no
+// channel" from a pristine one.
+type Degradation struct {
+	// EventLossRate is the estimated fraction of indicator events the
+	// sensor path lost before this detector analyzed them (upstream
+	// drops plus, for the cache detector, vector-register overruns).
+	EventLossRate float64
+	// SaturationRate is the fraction of Δt observation windows whose
+	// recorded density is a floor rather than an exact count (16-bit
+	// accumulator ceilings and 128-entry histogram-bin clamps).
+	SaturationRate float64
+	// ClampedTimestamps counts recorded events whose arrival order
+	// contradicted their timestamps; non-zero means the train's
+	// fine-grained ordering is partly reconstructed.
+	ClampedTimestamps uint64
+	// Confidence folds the diagnostics into one [0,1] factor: the
+	// fraction of the evidence base that was delivered intact. 1 means
+	// a pristine path; verdicts at low confidence should be re-observed
+	// rather than acted on.
+	Confidence float64
+	// Degraded reports whether any diagnostic is non-zero.
+	Degraded bool
+}
+
+// degradation folds raw diagnostics into the exported struct.
+func degradation(lossRate, satRate float64, clamped, events uint64) Degradation {
+	d := Degradation{
+		EventLossRate:     clamp01(lossRate),
+		SaturationRate:    clamp01(satRate),
+		ClampedTimestamps: clamped,
+	}
+	clampShare := 0.0
+	if events > 0 {
+		clampShare = clamp01(float64(clamped) / float64(events))
+	}
+	d.Confidence = (1 - d.EventLossRate) * (1 - d.SaturationRate) * (1 - clampShare)
+	d.Degraded = d.Confidence < 1 || clamped > 0
+	return d
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
 // ContentionVerdict is the burst-detection outcome for one monitored
 // combinational unit.
 type ContentionVerdict struct {
 	Kind     trace.Kind
 	Analysis BurstAnalysis
+	// Degradation qualifies the verdict's sensor-path health.
+	Degradation Degradation
 }
 
 // OscillationVerdict is the oscillation-detection outcome for the
@@ -53,6 +113,8 @@ type OscillationVerdict struct {
 	DetectedWindows int
 	// Detected reports the overall oscillation verdict.
 	Detected bool
+	// Degradation qualifies the verdict's sensor-path health.
+	Degradation Degradation
 }
 
 // Report is a full CC-Hunter analysis over one run.
@@ -65,6 +127,10 @@ type Report struct {
 	// Detected reports whether any monitored resource shows a covert
 	// timing channel.
 	Detected bool
+	// Confidence is the weakest per-detector confidence in the report
+	// (1 when every sensor path was pristine). A verdict — either way —
+	// at low confidence calls for re-observation, not silence.
+	Confidence float64
 }
 
 // String renders a terse human-readable summary.
@@ -82,6 +148,9 @@ func (r Report) String() string {
 			len(r.Oscillation.Windows))
 	}
 	fmt.Fprintf(&sb, "verdict: covert timing channel detected=%v", r.Detected)
+	if r.Confidence < 1 {
+		fmt.Fprintf(&sb, " (confidence %.3f: degraded sensor path)", r.Confidence)
+	}
 	return sb.String()
 }
 
@@ -111,16 +180,21 @@ func NewDetector(aud *auditor.Auditor, cfg DetectorConfig) *Detector {
 // algorithms over everything recorded so far.
 func (d *Detector) Analyze(endCycle uint64) Report {
 	d.aud.Flush(endCycle)
-	var rep Report
+	rep := Report{Confidence: 1}
 	for _, kind := range []trace.Kind{trace.KindBusLock, trace.KindDivContention} {
 		recs := d.aud.Histograms(kind)
 		if d.aud.DeltaT(kind) == 0 {
 			continue // not monitored
 		}
 		a := AnalyzeBursts(recs, d.cfg.Burst)
-		rep.Contention = append(rep.Contention, ContentionVerdict{Kind: kind, Analysis: a})
+		integ := d.aud.Integrity(kind)
+		deg := degradation(d.cfg.UpstreamLossRate, integ.SaturationRate(), 0, integ.Windows)
+		rep.Contention = append(rep.Contention, ContentionVerdict{Kind: kind, Analysis: a, Degradation: deg})
 		if a.Detected {
 			rep.Detected = true
+		}
+		if deg.Confidence < rep.Confidence {
+			rep.Confidence = deg.Confidence
 		}
 	}
 	if train := d.aud.ConflictTrain(); train != nil {
@@ -138,9 +212,17 @@ func (d *Detector) Analyze(endCycle uint64) Report {
 			}
 		}
 		v.Detected = v.DetectedWindows >= 1
+		ci := d.aud.ConflictIntegrity()
+		// Losses compose: an event survives the path only if it passes
+		// both the upstream sensor faults and the vector registers.
+		loss := 1 - (1-clamp01(d.cfg.UpstreamLossRate))*(1-ci.LossRate())
+		v.Degradation = degradation(loss, 0, ci.ClampedTimestamps, ci.Recorded)
 		rep.Oscillation = v
 		if v.Detected {
 			rep.Detected = true
+		}
+		if v.Degradation.Confidence < rep.Confidence {
+			rep.Confidence = v.Degradation.Confidence
 		}
 	}
 	return rep

@@ -25,7 +25,7 @@ func feedBursts(a *auditor.Auditor, quanta int, quantum uint64, locks int) {
 
 func TestDetectorEndToEndBusChannel(t *testing.T) {
 	quantum := uint64(10_000_000)
-	a := auditor.New(auditor.DefaultConfig(quantum))
+	a := auditor.MustNew(auditor.DefaultConfig(quantum))
 	if err := a.Monitor(trace.KindBusLock, DeltaTBus); err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestDetectorEndToEndBusChannel(t *testing.T) {
 
 func TestDetectorQuietSystemNoAlarm(t *testing.T) {
 	quantum := uint64(1_000_000)
-	a := auditor.New(auditor.DefaultConfig(quantum))
+	a := auditor.MustNew(auditor.DefaultConfig(quantum))
 	if err := a.Monitor(trace.KindBusLock, DeltaTBus); err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestDetectorQuietSystemNoAlarm(t *testing.T) {
 
 func TestDetectorOscillationPath(t *testing.T) {
 	quantum := uint64(1_000_000)
-	a := auditor.New(auditor.DefaultConfig(quantum))
+	a := auditor.MustNew(auditor.DefaultConfig(quantum))
 	if err := a.MonitorConflicts(); err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestDetectorOscillationPath(t *testing.T) {
 
 func TestDetectorObservationDivisor(t *testing.T) {
 	quantum := uint64(1_000_000)
-	a := auditor.New(auditor.DefaultConfig(quantum))
+	a := auditor.MustNew(auditor.DefaultConfig(quantum))
 	if err := a.MonitorConflicts(); err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestDetectorObservationDivisor(t *testing.T) {
 }
 
 func TestDetectorConstructorPanics(t *testing.T) {
-	a := auditor.New(auditor.DefaultConfig(1000))
+	a := auditor.MustNew(auditor.DefaultConfig(1000))
 	for name, f := range map[string]func(){
 		"nil auditor": func() { NewDetector(nil, DefaultDetectorConfig(1000, 8)) },
 		"zero quantum": func() {
@@ -163,7 +163,7 @@ func TestDetectorConstructorPanics(t *testing.T) {
 }
 
 func TestDetectorNoMonitorsEmptyReport(t *testing.T) {
-	a := auditor.New(auditor.DefaultConfig(1000))
+	a := auditor.MustNew(auditor.DefaultConfig(1000))
 	d := NewDetector(a, DefaultDetectorConfig(1000, 8))
 	rep := d.Analyze(5000)
 	if len(rep.Contention) != 0 || rep.Oscillation != nil || rep.Detected {

@@ -125,6 +125,29 @@ func (r Figure13Result) Summary() string {
 	return sb.String()
 }
 
+// Summary renders the sensor fault robustness sweep.
+func (r RobustnessResult) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Robustness (sensor fault sweep, uniform event drop): pass-through identical=%v\n",
+		r.BaselineIdentical)
+	for _, row := range r.Rows {
+		switch row.Channel {
+		case "cache":
+			fmt.Fprintf(&sb, "  %-8s drop=%.2f: peak=%.3f detected=%v confidence=%.3f measured-loss=%.3f\n",
+				row.Channel, row.DropRate, row.PeakValue, row.Detected, row.Confidence, row.MeasuredLoss)
+		default:
+			fmt.Fprintf(&sb, "  %-8s drop=%.2f: LR=%.3f detected=%v confidence=%.3f measured-loss=%.3f\n",
+				row.Channel, row.DropRate, row.LikelihoodRatio, row.Detected, row.Confidence, row.MeasuredLoss)
+		}
+	}
+	for _, row := range r.BenignRows {
+		fmt.Fprintf(&sb, "  benign   drop=%.2f: worst-LR=%.3f cache-peak=%.3f alarm=%v confidence=%.3f\n",
+			row.DropRate, row.LikelihoodRatio, row.PeakValue, row.Detected, row.Confidence)
+	}
+	sb.WriteString("  (expected: LR ≥0.9 and detection through 5% drop; benign LR <0.5 at every rate;\n   confidence <1 whenever the injector was active)")
+	return sb.String()
+}
+
 // Summary renders the Figure 14 false-alarm study.
 func (r Figure14Result) Summary() string {
 	var sb strings.Builder
@@ -254,6 +277,36 @@ func SeriesForCSV(id string, result interface{}) []csvSeries {
 					X:    "lag", Y: "r", Data: row.Autocorrelogram,
 				})
 			}
+		}
+		return out
+	case RobustnessResult:
+		byChannel := map[string]*struct{ strength, confidence []float64 }{}
+		order := []string{}
+		rows := append(append([]RobustnessRow(nil), r.Rows...), r.BenignRows...)
+		for _, row := range rows {
+			name := string(row.Channel)
+			if name == "none" || name == "" {
+				name = "benign"
+			}
+			c, ok := byChannel[name]
+			if !ok {
+				c = &struct{ strength, confidence []float64 }{}
+				byChannel[name] = c
+				order = append(order, name)
+			}
+			strength := row.LikelihoodRatio
+			if row.Channel == "cache" {
+				strength = row.PeakValue
+			}
+			c.strength = append(c.strength, strength)
+			c.confidence = append(c.confidence, row.Confidence)
+		}
+		var out []csvSeries
+		for _, name := range order {
+			out = append(out,
+				csvSeries{Name: "robust_" + name + "_strength", X: "rate_index", Y: "strength", Data: byChannel[name].strength},
+				csvSeries{Name: "robust_" + name + "_confidence", X: "rate_index", Y: "confidence", Data: byChannel[name].confidence},
+			)
 		}
 		return out
 	default:

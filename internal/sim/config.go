@@ -16,6 +16,7 @@ import (
 	"cchunter/internal/bus"
 	"cchunter/internal/cache"
 	"cchunter/internal/divider"
+	"cchunter/internal/faults"
 	"cchunter/internal/mitigate"
 )
 
@@ -76,6 +77,12 @@ type Config struct {
 	// after a CC-Hunter alarm (see internal/mitigate). All nil by
 	// default: an unprotected machine.
 	Mitigations Mitigations
+	// Faults perturbs the indicator-event stream between the hardware
+	// units and the registered listeners (auditor, recorders), modelling
+	// an imperfect CC-Auditor sensor path (see internal/faults). The
+	// zero value leaves the path pristine and the simulation bit-for-bit
+	// identical to a build without the injector.
+	Faults faults.Config
 	// Seed drives all scheduling randomness.
 	Seed uint64
 }

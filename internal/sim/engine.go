@@ -68,6 +68,11 @@ func (s *System) quiesce() {
 		}
 		p.pending = &req
 	}
+	if s.injector != nil {
+		// Release any event the reorder stage is still holding so
+		// listeners see a complete stream before the caller analyzes.
+		s.injector.Flush()
+	}
 }
 
 // pickContext returns the non-idle context with the smallest clock.
@@ -261,7 +266,7 @@ func (s *System) memAccess(c *hwContext, addr uint64, now, stamp uint64) uint64 
 		if l2.Evicted {
 			victim = l2.EvictedOwner
 		}
-		s.listeners.OnEvent(trace.Event{
+		s.emit.OnEvent(trace.Event{
 			Cycle:  stamp,
 			Kind:   trace.KindConflictMiss,
 			Actor:  c.id,

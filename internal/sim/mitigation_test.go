@@ -13,7 +13,7 @@ func TestBusLimiterSlowsLockStorms(t *testing.T) {
 		if withLimiter {
 			cfg.Mitigations.BusLimiter = mitigate.NewBusLockLimiter(cfg.Contexts(), 100_000, 2, 200_000)
 		}
-		s := New(cfg)
+		s := MustNew(cfg)
 		defer s.Close()
 		var end uint64
 		s.Spawn(NewProgram("storm", func(m *Machine) {
@@ -35,7 +35,7 @@ func TestBusLimiterSlowsLockStorms(t *testing.T) {
 func TestPartitionPreventsCrossContextEviction(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Mitigations.Partition = mitigate.NewCachePartition(cfg.Contexts(), nil)
-	s := New(cfg)
+	s := MustNew(cfg)
 	defer s.Close()
 	rec := trace.NewRecorder(trace.KindConflictMiss)
 	s.AddListener(rec)
@@ -66,7 +66,7 @@ func TestPartitionPreventsCrossContextEviction(t *testing.T) {
 func TestDividerTDMEliminatesContention(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Mitigations.DividerTDM = mitigate.NewDividerTDM(10_000)
-	s := New(cfg)
+	s := MustNew(cfg)
 	defer s.Close()
 	rec := trace.NewRecorder(trace.KindDivContention)
 	s.AddListener(rec)
@@ -86,7 +86,7 @@ func TestDividerTDMEliminatesContention(t *testing.T) {
 func TestClockFuzzDegradesObservations(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Mitigations.Fuzz = mitigate.NewClockFuzz(1000, 0, 1)
-	s := New(cfg)
+	s := MustNew(cfg)
 	defer s.Close()
 	var lat, now1, now2 uint64
 	s.Spawn(NewProgram("p", func(m *Machine) {

@@ -7,7 +7,7 @@ import (
 )
 
 func TestComputeAdvancesClock(t *testing.T) {
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	defer s.Close()
 	var end uint64
 	s.Spawn(NewProgram("p", func(m *Machine) {
@@ -22,7 +22,7 @@ func TestComputeAdvancesClock(t *testing.T) {
 }
 
 func TestLoadLatencies(t *testing.T) {
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	defer s.Close()
 	var cold, l1hit, l2hit uint64
 	s.Spawn(NewProgram("p", func(m *Machine) {
@@ -61,7 +61,7 @@ func TestDeterminism(t *testing.T) {
 	run := func() []trace.Event {
 		cfg := TestConfig()
 		cfg.MigrationProb = 0.5
-		s := New(cfg)
+		s := MustNew(cfg)
 		defer s.Close()
 		rec := trace.NewRecorder()
 		s.AddListener(rec)
@@ -96,7 +96,7 @@ func TestDeterminism(t *testing.T) {
 func TestEventStreamMonotonic(t *testing.T) {
 	// The recorder panics on out-of-order events; drive a busy mixed
 	// workload (batches included) to exercise the stamping rules.
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	defer s.Close()
 	rec := trace.NewRecorder()
 	s.AddListener(rec)
@@ -120,7 +120,7 @@ func TestEventStreamMonotonic(t *testing.T) {
 }
 
 func TestBusLockEventsEmitted(t *testing.T) {
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	defer s.Close()
 	rec := trace.NewRecorder(trace.KindBusLock)
 	s.AddListener(rec)
@@ -139,7 +139,7 @@ func TestBusLockEventsEmitted(t *testing.T) {
 }
 
 func TestDividerContentionBetweenHyperthreads(t *testing.T) {
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	defer s.Close()
 	rec := trace.NewRecorder(trace.KindDivContention)
 	s.AddListener(rec)
@@ -165,7 +165,7 @@ func TestDividerContentionBetweenHyperthreads(t *testing.T) {
 }
 
 func TestNoDividerContentionAcrossCores(t *testing.T) {
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	defer s.Close()
 	rec := trace.NewRecorder(trace.KindDivContention)
 	s.AddListener(rec)
@@ -184,7 +184,7 @@ func TestNoDividerContentionAcrossCores(t *testing.T) {
 }
 
 func TestConflictMissEventsOnSharedL2(t *testing.T) {
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	defer s.Close()
 	rec := trace.NewRecorder(trace.KindConflictMiss)
 	s.AddListener(rec)
@@ -224,7 +224,7 @@ func TestConflictMissEventsOnSharedL2(t *testing.T) {
 }
 
 func TestWaitUntilAndSleep(t *testing.T) {
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	defer s.Close()
 	var a, b uint64
 	s.Spawn(NewProgram("p", func(m *Machine) {
@@ -242,7 +242,7 @@ func TestQuantumRoundRobin(t *testing.T) {
 	cfg.Cores = 1
 	cfg.ThreadsPerCore = 1
 	cfg.QuantumCycles = 10_000
-	s := New(cfg)
+	s := MustNew(cfg)
 	defer s.Close()
 	var aSlices, bSlices []uint64
 	s.Spawn(NewProgram("a", func(m *Machine) {
@@ -275,7 +275,7 @@ func TestMigration(t *testing.T) {
 	cfg := TestConfig()
 	cfg.QuantumCycles = 5_000
 	cfg.MigrationProb = 1.0
-	s := New(cfg)
+	s := MustNew(cfg)
 	defer s.Close()
 	s.Spawn(NewProgram("wanderer", func(m *Machine) {
 		for {
@@ -292,7 +292,7 @@ func TestPinnedNeverMigrates(t *testing.T) {
 	cfg := TestConfig()
 	cfg.QuantumCycles = 5_000
 	cfg.MigrationProb = 1.0
-	s := New(cfg)
+	s := MustNew(cfg)
 	defer s.Close()
 	s.Spawn(NewProgram("pinned", func(m *Machine) {
 		for {
@@ -306,7 +306,7 @@ func TestPinnedNeverMigrates(t *testing.T) {
 }
 
 func TestProcessCompletion(t *testing.T) {
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	defer s.Close()
 	p := s.Spawn(NewProgram("finite", func(m *Machine) {
 		m.Compute(100)
@@ -321,7 +321,7 @@ func TestProcessCompletion(t *testing.T) {
 }
 
 func TestRunIsResumable(t *testing.T) {
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	defer s.Close()
 	var ticks []uint64
 	s.Spawn(NewProgram("p", func(m *Machine) {
@@ -342,7 +342,7 @@ func TestRunIsResumable(t *testing.T) {
 }
 
 func TestCloseStopsPrograms(t *testing.T) {
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	s.Spawn(NewProgram("loop", func(m *Machine) {
 		for {
 			m.Compute(100)
@@ -354,7 +354,7 @@ func TestCloseStopsPrograms(t *testing.T) {
 }
 
 func TestSpawnAfterRunPanics(t *testing.T) {
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	defer s.Close()
 	s.Spawn(NewProgram("p", func(m *Machine) { m.Compute(1) }))
 	s.Run(100)
@@ -367,7 +367,7 @@ func TestSpawnAfterRunPanics(t *testing.T) {
 }
 
 func TestGeometry(t *testing.T) {
-	s := New(DefaultConfig())
+	s := MustNew(DefaultConfig())
 	defer s.Close()
 	g := s.Geometry()
 	if g.Contexts != 8 || g.Cores != 4 || g.ThreadsPerCore != 2 {
@@ -401,7 +401,7 @@ func TestCyclesHelpers(t *testing.T) {
 }
 
 func TestPrivateAddressesDoNotAlias(t *testing.T) {
-	s := New(TestConfig())
+	s := MustNew(TestConfig())
 	defer s.Close()
 	var lat1 uint64
 	s.Spawn(NewProgram("a", func(m *Machine) {
@@ -423,7 +423,7 @@ func TestTrackerKindSelectable(t *testing.T) {
 	for _, kind := range []TrackerKind{TrackerGenerational, TrackerIdeal} {
 		cfg := TestConfig()
 		cfg.Tracker = kind
-		s := New(cfg)
+		s := MustNew(cfg)
 		rec := trace.NewRecorder(trace.KindConflictMiss)
 		s.AddListener(rec)
 		pingpong := func(m *Machine) {

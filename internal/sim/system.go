@@ -1,15 +1,21 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"cchunter/internal/bus"
 	"cchunter/internal/cache"
 	"cchunter/internal/conflict"
 	"cchunter/internal/divider"
+	"cchunter/internal/faults"
 	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
+
+// ErrBadConfig is wrapped by every configuration validation error in
+// this package.
+var ErrBadConfig = errors.New("sim: bad configuration")
 
 // Process is one software process known to the simulated OS.
 type Process struct {
@@ -63,38 +69,69 @@ type System struct {
 	tracker   conflict.Tracker
 	bus       *bus.Bus
 	listeners trace.Tee
-	procs     []*Process
-	rng       *stats.RNG
-	started   bool
-	closed    bool
+	// emit is the listener the hardware units report to: the fault
+	// injector when one is configured, otherwise &listeners directly.
+	emit     trace.Listener
+	injector *faults.Injector
+	procs    []*Process
+	rng      *stats.RNG
+	started  bool
+	closed   bool
 
 	migrations uint64
 	switches   uint64
 }
 
-// New builds a system from cfg. Listeners registered later receive
-// every indicator event the hardware emits.
-func New(cfg Config) *System {
+// New builds a system from cfg, rejecting inconsistent machine
+// descriptions with an error wrapping ErrBadConfig. Listeners
+// registered later receive every indicator event the hardware emits —
+// routed through the sensor fault injector when cfg.Faults is set.
+func New(cfg Config) (*System, error) {
 	if cfg.Cores <= 0 || cfg.ThreadsPerCore <= 0 {
-		panic("sim: need at least one core and one thread")
+		return nil, fmt.Errorf("%w: need at least one core and one thread, got %d cores × %d threads",
+			ErrBadConfig, cfg.Cores, cfg.ThreadsPerCore)
 	}
 	if cfg.QuantumCycles == 0 {
-		panic("sim: quantum must be positive")
+		return nil, fmt.Errorf("%w: quantum must be positive", ErrBadConfig)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	s := &System{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
-	s.bus = bus.New(cfg.Bus, &s.listeners)
-	s.l2 = cache.New(cfg.L2)
+	s.emit = &s.listeners
+	if !cfg.Faults.IsZero() {
+		inj, err := faults.NewInjector(cfg.Faults, &s.listeners)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		s.injector = inj
+		s.emit = inj
+	}
+	s.bus = bus.New(cfg.Bus, s.emit)
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("%w: L2: %v", ErrBadConfig, err)
+	}
+	s.l2 = l2
 	switch cfg.Tracker {
 	case TrackerIdeal:
-		s.tracker = conflict.NewIdeal(s.l2.NumBlocks())
+		s.tracker = conflict.MustNewIdeal(s.l2.NumBlocks())
 	default:
-		s.tracker = conflict.NewGenerational(conflict.GenerationalConfig{TotalBlocks: s.l2.NumBlocks()})
+		t, err := conflict.NewGenerational(conflict.GenerationalConfig{TotalBlocks: s.l2.NumBlocks()})
+		if err != nil {
+			return nil, fmt.Errorf("%w: tracker: %v", ErrBadConfig, err)
+		}
+		s.tracker = t
 	}
 	for c := 0; c < cfg.Cores; c++ {
+		l1, err := cache.New(cfg.L1)
+		if err != nil {
+			return nil, fmt.Errorf("%w: L1: %v", ErrBadConfig, err)
+		}
 		co := &core{
 			id:  c,
-			l1:  cache.New(cfg.L1),
-			div: divider.New(cfg.Div, &s.listeners),
+			l1:  l1,
+			div: divider.New(cfg.Div, s.emit),
 		}
 		s.cores = append(s.cores, co)
 		for t := 0; t < cfg.ThreadsPerCore; t++ {
@@ -105,7 +142,26 @@ func New(cfg Config) *System {
 			})
 		}
 	}
+	return s, nil
+}
+
+// MustNew is New for configurations known to be valid (tests, the
+// hardcoded defaults); it panics on error.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
+}
+
+// FaultStats returns the sensor fault injector's counters and whether
+// an injector is configured at all.
+func (s *System) FaultStats() (faults.Stats, bool) {
+	if s.injector == nil {
+		return faults.Stats{}, false
+	}
+	return s.injector.Stats(), true
 }
 
 // AddListener registers a hardware event listener (an auditor, a raw

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeSeries turns fuzz bytes into a float64 series, sanitizing
+// non-finite values the way any real consumer of telemetry must: the
+// autocorrelation math is only specified over finite inputs.
+func decodeSeries(data []byte) []float64 {
+	var xs []float64
+	for len(data) >= 8 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		// Bound magnitudes so squared sums stay finite.
+		if v > 1e9 {
+			v = 1e9
+		} else if v < -1e9 {
+			v = -1e9
+		}
+		xs = append(xs, v)
+	}
+	return xs
+}
+
+// FuzzAutocorrelation asserts the §IV-D statistic never panics and
+// stays bounded, whatever series a corrupted sensor path produces.
+// The seed corpus mirrors the fault injector's corruption modes:
+// clean periodicity, drops (zeroed samples), duplication (repeated
+// samples), saturation (clipped plateaus), and jitter (perturbed).
+func FuzzAutocorrelation(f *testing.F) {
+	encode := func(xs []float64) []byte {
+		out := make([]byte, 8*len(xs))
+		for i, v := range xs {
+			binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+		}
+		return out
+	}
+	clean := make([]float64, 64)
+	dropped := make([]float64, 64)
+	duplicated := make([]float64, 64)
+	saturated := make([]float64, 64)
+	jittered := make([]float64, 64)
+	r := NewRNG(1)
+	for i := range clean {
+		v := math.Sin(float64(i) / 4)
+		clean[i] = v
+		if r.Float64() < 0.2 {
+			dropped[i] = 0
+		} else {
+			dropped[i] = v
+		}
+		duplicated[i] = clean[i/2*2]
+		if v > 0.5 {
+			saturated[i] = 0.5
+		} else {
+			saturated[i] = v
+		}
+		jittered[i] = v + (r.Float64()-0.5)/4
+	}
+	for _, seed := range [][]float64{clean, dropped, duplicated, saturated, jittered, {}, {1}, {2, 2, 2}} {
+		f.Add(encode(seed), 5)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, lag int) {
+		xs := decodeSeries(data)
+		if lag > 1<<20 || lag < -(1<<20) {
+			lag %= 1 << 20
+		}
+		r := Autocorrelation(xs, lag)
+		if math.IsNaN(r) || r < -1.000001 || r > 1.000001 {
+			t.Fatalf("Autocorrelation(%d samples, lag %d) = %v, outside [-1, 1]", len(xs), lag, r)
+		}
+		maxLag := lag
+		if maxLag < 0 {
+			maxLag = -maxLag
+		}
+		acf := Autocorrelogram(xs, maxLag)
+		if len(xs) > 0 && len(acf) == 0 {
+			t.Fatal("non-empty series produced empty autocorrelogram")
+		}
+		for p, v := range acf {
+			if math.IsNaN(v) || v < -1.000001 || v > 1.000001 {
+				t.Fatalf("acf[%d] = %v, outside [-1, 1]", p, v)
+			}
+		}
+		// Peaks must only report lags that exist.
+		for _, pk := range Peaks(acf, 0.1) {
+			if pk.Lag <= 0 || pk.Lag >= len(acf) {
+				t.Fatalf("peak at impossible lag %d of %d", pk.Lag, len(acf))
+			}
+		}
+	})
+}
+
+// FuzzHistogramAdd asserts density histograms clamp instead of
+// overflowing whatever density sequence arrives.
+func FuzzHistogramAdd(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 255}, 8)
+	f.Add([]byte{128, 128, 128}, 1)
+	f.Fuzz(func(t *testing.T, data []byte, bins int) {
+		bins = bins%1024 + 1
+		if bins <= 0 {
+			bins += 1024
+		}
+		h := NewHistogram(bins)
+		var n uint64
+		for _, b := range data {
+			h.Add(int(b) * int(b)) // densities up to 65025, past any bin count
+			n++
+		}
+		if h.Total() != n {
+			t.Fatalf("total %d after %d adds", h.Total(), n)
+		}
+		if mx := h.NonZeroMax(); mx >= bins {
+			t.Fatalf("bin index %d outside %d bins", mx, bins)
+		}
+	})
+}

@@ -105,6 +105,24 @@ func (t *Train) Append(e Event) {
 	t.events = append(t.events, e)
 }
 
+// AppendClamped adds an event to the train, clamping a non-monotonic
+// cycle up to the previous event's cycle instead of panicking. It
+// returns true when clamping occurred. This is the ingestion path for
+// *degraded* streams — timestamp jitter and bounded reordering from a
+// faulty sensor path deliver events slightly out of order, and real
+// capture hardware timestamps on arrival, which is exactly what the
+// clamp models. Producers that guarantee global time order keep using
+// Append, whose panic still flags genuine simulator bugs.
+func (t *Train) AppendClamped(e Event) bool {
+	clamped := false
+	if n := len(t.events); n > 0 && e.Cycle < t.events[n-1].Cycle {
+		e.Cycle = t.events[n-1].Cycle
+		clamped = true
+	}
+	t.events = append(t.events, e)
+	return clamped
+}
+
 // Len returns the number of events.
 func (t *Train) Len() int { return len(t.events) }
 

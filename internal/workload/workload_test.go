@@ -11,7 +11,7 @@ import (
 // returns the recorded event train.
 func runPair(t *testing.T, a, b Spec, cycles uint64) *trace.Train {
 	t.Helper()
-	s := sim.New(sim.TestConfig())
+	s := sim.MustNew(sim.TestConfig())
 	defer s.Close()
 	rec := trace.NewRecorder()
 	s.AddListener(rec)
@@ -23,7 +23,7 @@ func runPair(t *testing.T, a, b Spec, cycles uint64) *trace.Train {
 
 func TestAllSpecsRun(t *testing.T) {
 	for name, spec := range All() {
-		s := sim.New(sim.TestConfig())
+		s := sim.MustNew(sim.TestConfig())
 		s.Spawn(New(spec, 7), sim.Pin(0))
 		s.Run(500_000)
 		s.Close()
@@ -102,7 +102,7 @@ func TestMailserverIsBursty(t *testing.T) {
 }
 
 func TestWebserverWalksSetsCyclically(t *testing.T) {
-	s := sim.New(sim.TestConfig())
+	s := sim.MustNew(sim.TestConfig())
 	defer s.Close()
 	rec := trace.NewRecorder(trace.KindConflictMiss)
 	s.AddListener(rec)

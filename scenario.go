@@ -6,6 +6,7 @@ import (
 	"cchunter/internal/auditor"
 	"cchunter/internal/channels"
 	"cchunter/internal/core"
+	"cchunter/internal/faults"
 	"cchunter/internal/mitigate"
 	"cchunter/internal/sim"
 	"cchunter/internal/trace"
@@ -69,6 +70,12 @@ type Scenario struct {
 	// (L2 way-partitioning per context), "tdm" (time-multiplexed
 	// dividers), or "clockfuzz" (fuzzy time). See internal/mitigate.
 	Mitigation string
+	// Faults perturbs the event stream between the hardware units and
+	// the CC-Auditor, modelling a degraded sensor path (dropped events,
+	// timestamp jitter, context corruption, saturation — see
+	// internal/faults). The zero value leaves the run bit-for-bit
+	// identical to one without the injector.
+	Faults FaultConfig
 	// Seed drives every random choice in the scenario.
 	Seed uint64
 	// RecordRaw additionally captures the full undeduplicated event
@@ -117,6 +124,9 @@ type Result struct {
 	ConflictTrain *Train
 	// RawTrain is the full event train when RecordRaw was set.
 	RawTrain *Train
+	// FaultStats holds the sensor fault injector's counters; nil when
+	// the run had a pristine sensor path (Scenario.Faults zero).
+	FaultStats *FaultStats
 	// EndCycle is the simulated duration.
 	EndCycle uint64
 	// QuantumCycles echoes the quantum used.
@@ -187,10 +197,17 @@ func (sc Scenario) Run() (*Result, error) {
 	default:
 		return nil, fmt.Errorf("cchunter: unknown mitigation %q", sc.Mitigation)
 	}
-	system := sim.New(simCfg)
+	simCfg.Faults = faults.Config(sc.Faults)
+	system, err := sim.New(simCfg)
+	if err != nil {
+		return nil, fmt.Errorf("cchunter: building machine: %w", err)
+	}
 	defer system.Close()
 
-	aud := auditor.New(auditor.DefaultConfig(cfg.QuantumCycles))
+	aud, err := auditor.New(auditor.DefaultConfig(cfg.QuantumCycles))
+	if err != nil {
+		return nil, fmt.Errorf("cchunter: building auditor: %w", err)
+	}
 	if err := aud.Monitor(trace.KindBusLock, core.DeltaTBus); err != nil {
 		return nil, fmt.Errorf("cchunter: monitoring bus: %w", err)
 	}
@@ -249,6 +266,13 @@ func (sc Scenario) Run() (*Result, error) {
 
 	detCfg := core.DefaultDetectorConfig(cfg.QuantumCycles, simCfg.Contexts())
 	detCfg.ObservationDivisor = cfg.ObservationDivisor
+	if fs, ok := system.FaultStats(); ok {
+		// The injector self-reports its drops; fold them into every
+		// verdict's degradation diagnostics.
+		detCfg.UpstreamLossRate = fs.LossRate()
+		stats := FaultStats(fs)
+		res.FaultStats = &stats
+	}
 	if o := sc.Detector; o != nil {
 		if o.LikelihoodThreshold > 0 {
 			detCfg.Burst.LikelihoodThreshold = o.LikelihoodThreshold
