@@ -6,6 +6,8 @@
 package cchunter_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"cchunter"
@@ -14,6 +16,7 @@ import (
 	"cchunter/internal/conflict"
 	"cchunter/internal/core"
 	"cchunter/internal/experiments"
+	"cchunter/internal/runner"
 	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
@@ -364,6 +367,57 @@ func itoa(v uint64) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// --- Parallel experiment runner --------------------------------------
+
+// BenchmarkRunnerParallelism compares the experiment worker pool at
+// one worker (the serial path ccrepro -j 1 takes) against GOMAXPROCS
+// workers on Figure 12's per-message fan-out — the speedup the
+// parallel sweep buys on a multicore host. The determinism gate
+// (TestDeterminismAcrossWorkers, ccrepro CI diff) guarantees both
+// configurations produce byte-identical results, so time/op is the
+// only thing that may differ between the sub-benchmarks.
+func BenchmarkRunnerParallelism(b *testing.B) {
+	opts := benchOpts
+	opts.MessageBits = 16
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			o := opts
+			o.Workers = workers
+			for i := 0; i < b.N; i++ {
+				r := experiments.Figure12(o, 8)
+				if !r.AllDetected {
+					b.Fatal("a message escaped detection")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerOverhead measures the pool's own cost per job —
+// dispatch, seed derivation, and result collection — with trivial job
+// bodies, so regressions in the orchestrator itself are visible
+// without simulator noise.
+func BenchmarkRunnerOverhead(b *testing.B) {
+	jobs := make([]runner.Job, 256)
+	for i := range jobs {
+		jobs[i] = runner.Job{
+			Name: fmt.Sprintf("job-%03d", i),
+			Run:  func(seed uint64) (interface{}, error) { return seed, nil },
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(runtime.GOMAXPROCS(0), 1, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs/op")
 }
 
 // BenchmarkEngineThroughput measures raw simulator speed: simulated

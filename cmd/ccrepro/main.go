@@ -4,13 +4,15 @@
 // Usage:
 //
 //	ccrepro [-fig all|2,3,6,8,...] [-out out/] [-scale 100] [-seed 1]
-//	        [-messages 32] [-quanta 64]
+//	        [-messages 32] [-quanta 64] [-j N] [-v]
 //
 // Figure ids: 2 3 4 5 6 7 8 10 11 12 13 14, "t1" for Table I, "m"
 // for the mitigation study, "e" for the evasion study, and "r" for
 // the sensor fault robustness sweep.
 // -scale 1 runs at full paper scale (slow); the default 100× preserves
 // every quantity the detector depends on (see DESIGN.md).
+// -j N runs figures (and their internal sweeps) on N workers; output
+// is byte-identical at every N, and -j 1 is the serial path.
 package main
 
 import (
@@ -18,11 +20,21 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"cchunter/internal/experiments"
+	"cchunter/internal/runner"
 	"cchunter/internal/trace"
 )
+
+// stepOutput is what each figure job hands back to main for ordered
+// rendering.
+type stepOutput struct {
+	summary string
+	result  interface{}
+}
 
 func main() {
 	figs := flag.String("fig", "all", "comma-separated figure ids (2..14, t1, m=mitigation, e=evasion, r=robustness) or 'all'")
@@ -31,9 +43,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	messages := flag.Int("messages", 32, "messages for Figure 12 (paper: 256)")
 	quanta := flag.Int("quanta", 64, "observation quanta for Figure 14 (paper: 512)")
+	jobs := flag.Int("j", runtime.NumCPU(), "worker count for figures and their sweeps (1 = serial)")
+	verbose := flag.Bool("v", false, "print per-figure timing after the run")
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, TimeScale: *scale}
+	opts := experiments.Options{Seed: *seed, TimeScale: *scale, Workers: *jobs}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
@@ -87,15 +101,62 @@ func main() {
 		{"r", func() (string, interface{}) { r := experiments.Robustness(opts); return r.Summary(), r }},
 	}
 
+	var pending []runner.Job
+	var ids []string
 	for _, s := range steps {
 		if !want[s.id] {
 			continue
 		}
-		summary, result := s.run()
-		fmt.Println(summary)
-		fmt.Println()
-		writeCSVs(*outDir, s.id, result)
+		run := s.run
+		pending = append(pending, runner.Job{
+			Name: "fig" + s.id,
+			Run: func(uint64) (interface{}, error) {
+				summary, result := run()
+				return stepOutput{summary, result}, nil
+			},
+		})
+		ids = append(ids, s.id)
 	}
+
+	start := time.Now()
+	pool := runner.Pool{Workers: *jobs, OnProgress: progressLine}
+	results, err := pool.Run(*seed, pending)
+	if len(pending) > 0 {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	for i, r := range results {
+		out := r.Value.(stepOutput)
+		fmt.Println(out.summary)
+		fmt.Println()
+		writeCSVs(*outDir, ids[i], out.result)
+	}
+
+	if *verbose {
+		fmt.Printf("timing (%d workers):\n", *jobs)
+		var busy time.Duration
+		for _, r := range results {
+			busy += r.Elapsed
+			fmt.Printf("  %-6s %8s  worker %d\n", r.Name, r.Elapsed.Round(time.Millisecond), r.Worker)
+		}
+		wall := time.Since(start)
+		fmt.Printf("  total  %8s  wall %s (%.1f× concurrency)\n",
+			busy.Round(time.Millisecond), wall.Round(time.Millisecond),
+			float64(busy)/float64(wall))
+	}
+}
+
+// progressLine keeps one live status line on stderr: jobs done/total,
+// elapsed time, and a uniform-cost ETA.
+func progressLine(p runner.Progress) {
+	line := fmt.Sprintf("[%d/%d] %s elapsed, eta %s — %s (%s)",
+		p.Done, p.Total,
+		p.Elapsed.Round(time.Second), p.ETA.Round(time.Second),
+		p.Last.Name, p.Last.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "\r%-78s", line)
 }
 
 func writeCSVs(dir, id string, result interface{}) {

@@ -4,6 +4,15 @@
 // same rows/series the paper plots; cmd/ccrepro renders them and
 // EXPERIMENTS.md records the comparison against the paper.
 //
+// Parallelism: every simulator run inside a figure is an independent
+// (configuration, seed) pair, so multi-run figures decompose into
+// internal/runner jobs executed on a bounded worker pool
+// (Options.Workers; cmd/ccrepro's -j flag). Each job captures its
+// entire configuration — including its seed — before the pool starts,
+// so the assembled figure is bit-for-bit identical at every worker
+// count; Workers = 1 reproduces the serial path. See DESIGN.md §9 for
+// the determinism contract.
+//
 // Scaling: the paper's machine runs at 2.5 GHz with a 0.1 s OS time
 // quantum. Simulating minutes of that machine is event-bounded, not
 // cycle-bounded, but the benign workloads still make full-scale runs
@@ -18,6 +27,7 @@ import (
 	"fmt"
 
 	"cchunter"
+	"cchunter/internal/runner"
 )
 
 // Options tunes an experiment run.
@@ -30,6 +40,10 @@ type Options struct {
 	// MessageBits is the message length (default 64, the paper's
 	// credit-card number).
 	MessageBits int
+	// Workers bounds the worker pool multi-run figures execute on
+	// (default GOMAXPROCS; 1 = serial). Results are identical at
+	// every worker count.
+	Workers int
 }
 
 func (o Options) norm() Options {
@@ -118,4 +132,24 @@ func run(sc cchunter.Scenario) *cchunter.Result {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 	return res
+}
+
+// runJobs executes a figure's sub-runs on the experiment worker pool,
+// failing loudly like run: the jobs are built from code, so an error
+// is a bug. Results come back in job order.
+func (o Options) runJobs(jobs []runner.Job) []runner.Result {
+	results, err := runner.Run(o.Workers, o.Seed, jobs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return results
+}
+
+// scenarioJob wraps one scenario as a runner job that ignores the
+// derived seed: the scenario's own Seed is part of the experiment's
+// pinned configuration.
+func scenarioJob(name string, sc cchunter.Scenario) runner.Job {
+	return runner.Job{Name: name, Run: func(uint64) (interface{}, error) {
+		return sc.Run()
+	}}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cchunter"
+	"cchunter/internal/runner"
 )
 
 // MitigationRow is one (channel, defense) cell of the mitigation
@@ -49,6 +50,7 @@ func ExtMitigation(o Options) MitigationResult {
 		{cchunter.ChannelSharedCache, ""},
 		{cchunter.ChannelSharedCache, "partition"},
 	}
+	var jobs []runner.Job
 	for _, c := range cases {
 		msg := cchunter.RandomMessage(min(o.MessageBits, 32), o.Seed)
 		sc := cchunter.Scenario{
@@ -67,14 +69,29 @@ func ExtMitigation(o Options) MitigationResult {
 			sc.QuantumCycles = o.rowQuantum(1000)
 			sc.DurationQuanta = 2
 		}
-		res := run(sc)
-		out.Rows = append(out.Rows, MitigationRow{
-			Channel:    c.ch,
-			Mitigation: c.mit,
-			BitErrors:  res.BitErrors,
-			Decoded:    len(res.Decoded),
-			Detected:   res.Report.Detected,
+		mit := c.mit
+		if mit == "" {
+			mit = "none"
+		}
+		jobs = append(jobs, runner.Job{
+			Name: fmt.Sprintf("mitigate/%s/%s", c.ch, mit),
+			Run: func(uint64) (interface{}, error) {
+				res, err := sc.Run()
+				if err != nil {
+					return nil, err
+				}
+				return MitigationRow{
+					Channel:    sc.Channel,
+					Mitigation: sc.Mitigation,
+					BitErrors:  res.BitErrors,
+					Decoded:    len(res.Decoded),
+					Detected:   res.Report.Detected,
+				}, nil
+			},
 		})
+	}
+	for _, r := range o.runJobs(jobs) {
+		out.Rows = append(out.Rows, r.Value.(MitigationRow))
 	}
 	return out
 }
@@ -120,10 +137,10 @@ type EvasionResult struct {
 // channel-like.
 func ExtEvasion(o Options) EvasionResult {
 	o = o.norm()
-	var out EvasionResult
+	var jobs []runner.Job
 	for _, noise := range []float64{0, 0.25, 0.5, 1.0} {
 		msg := cchunter.RandomMessage(min(o.MessageBits, 32), o.Seed)
-		res := run(cchunter.Scenario{
+		sc := cchunter.Scenario{
 			Channel:        cchunter.ChannelMemoryBus,
 			BandwidthBPS:   o.rowBPS(1000),
 			Message:        msg,
@@ -131,18 +148,31 @@ func ExtEvasion(o Options) EvasionResult {
 			DurationQuanta: 2,
 			EvasionNoise:   noise,
 			Seed:           o.Seed,
+		}
+		jobs = append(jobs, runner.Job{
+			Name: fmt.Sprintf("evade/noise%.0f%%", noise*100),
+			Run: func(uint64) (interface{}, error) {
+				res, err := sc.Run()
+				if err != nil {
+					return nil, err
+				}
+				row := EvasionRow{Noise: sc.EvasionNoise}
+				for _, v := range res.Report.Contention {
+					if v.Kind == cchunter.EventBusLock {
+						row.LikelihoodRatio = v.Analysis.LikelihoodRatio
+						row.Detected = v.Analysis.Detected
+					}
+				}
+				if n := len(res.Decoded); n > 0 {
+					row.ErrorRate = float64(res.BitErrors) / float64(n)
+				}
+				return row, nil
+			},
 		})
-		row := EvasionRow{Noise: noise}
-		for _, v := range res.Report.Contention {
-			if v.Kind == cchunter.EventBusLock {
-				row.LikelihoodRatio = v.Analysis.LikelihoodRatio
-				row.Detected = v.Analysis.Detected
-			}
-		}
-		if n := len(res.Decoded); n > 0 {
-			row.ErrorRate = float64(res.BitErrors) / float64(n)
-		}
-		out.Rows = append(out.Rows, row)
+	}
+	var out EvasionResult
+	for _, r := range o.runJobs(jobs) {
+		out.Rows = append(out.Rows, r.Value.(EvasionRow))
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"cchunter"
 	"cchunter/internal/auditor"
 	"cchunter/internal/core"
+	"cchunter/internal/runner"
 	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
@@ -87,24 +88,28 @@ type Figure4Result struct {
 func Figure4(o Options) Figure4Result {
 	o = o.norm()
 	msg := o.message()
-	bus := run(cchunter.Scenario{
-		Channel:        cchunter.ChannelMemoryBus,
-		BandwidthBPS:   o.rowBPS(1000),
-		Message:        msg,
-		QuantumCycles:  o.rowQuantum(1000),
-		DurationQuanta: 2,
-		Seed:           o.Seed,
-		RecordRaw:      true,
+	results := o.runJobs([]runner.Job{
+		scenarioJob("fig4/bus", cchunter.Scenario{
+			Channel:        cchunter.ChannelMemoryBus,
+			BandwidthBPS:   o.rowBPS(1000),
+			Message:        msg,
+			QuantumCycles:  o.rowQuantum(1000),
+			DurationQuanta: 2,
+			Seed:           o.Seed,
+			RecordRaw:      true,
+		}),
+		scenarioJob("fig4/div", cchunter.Scenario{
+			Channel:        cchunter.ChannelIntegerDivider,
+			BandwidthBPS:   o.rowBPS(1000),
+			Message:        msg,
+			QuantumCycles:  o.rowQuantum(1000),
+			DurationQuanta: 2,
+			Seed:           o.Seed,
+			RecordRaw:      true,
+		}),
 	})
-	div := run(cchunter.Scenario{
-		Channel:        cchunter.ChannelIntegerDivider,
-		BandwidthBPS:   o.rowBPS(1000),
-		Message:        msg,
-		QuantumCycles:  o.rowQuantum(1000),
-		DurationQuanta: 2,
-		Seed:           o.Seed,
-		RecordRaw:      true,
-	})
+	bus := results[0].Value.(*cchunter.Result)
+	div := results[1].Value.(*cchunter.Result)
 	return Figure4Result{
 		BusLocks:      bus.RawTrain.FilterKind(trace.KindBusLock),
 		DivContention: div.RawTrain.FilterKind(trace.KindDivContention),
@@ -170,22 +175,26 @@ type Figure6Result struct {
 func Figure6(o Options) Figure6Result {
 	o = o.norm()
 	msg := o.message()
-	bus := run(cchunter.Scenario{
-		Channel:        cchunter.ChannelMemoryBus,
-		BandwidthBPS:   o.rowBPS(1000),
-		Message:        msg,
-		QuantumCycles:  o.rowQuantum(1000),
-		DurationQuanta: 2,
-		Seed:           o.Seed,
+	results := o.runJobs([]runner.Job{
+		scenarioJob("fig6/bus", cchunter.Scenario{
+			Channel:        cchunter.ChannelMemoryBus,
+			BandwidthBPS:   o.rowBPS(1000),
+			Message:        msg,
+			QuantumCycles:  o.rowQuantum(1000),
+			DurationQuanta: 2,
+			Seed:           o.Seed,
+		}),
+		scenarioJob("fig6/div", cchunter.Scenario{
+			Channel:        cchunter.ChannelIntegerDivider,
+			BandwidthBPS:   o.rowBPS(1000),
+			Message:        msg,
+			QuantumCycles:  o.rowQuantum(1000),
+			DurationQuanta: 2,
+			Seed:           o.Seed,
+		}),
 	})
-	div := run(cchunter.Scenario{
-		Channel:        cchunter.ChannelIntegerDivider,
-		BandwidthBPS:   o.rowBPS(1000),
-		Message:        msg,
-		QuantumCycles:  o.rowQuantum(1000),
-		DurationQuanta: 2,
-		Seed:           o.Seed,
-	})
+	bus := results[0].Value.(*cchunter.Result)
+	div := results[1].Value.(*cchunter.Result)
 	out := Figure6Result{Bus: bus.BusHistogram, Div: div.DivHistogram}
 	out.BusThreshold = core.ThresholdDensity(out.Bus)
 	out.DivThreshold = core.ThresholdDensity(out.Div)

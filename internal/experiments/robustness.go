@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"cchunter"
+	"cchunter/internal/runner"
 )
 
 // RobustnessRow is one (channel, fault-rate) cell of the sensor fault
@@ -54,7 +57,6 @@ var robustnessDropRates = []float64{0, 0.05, 0.10, 0.20}
 // actually delivered.
 func Robustness(o Options) RobustnessResult {
 	o = o.norm()
-	var out RobustnessResult
 
 	msg := cchunter.RandomMessage(min(o.MessageBits, 32), o.Seed)
 	burstScenario := func(ch cchunter.Channel, rate float64) cchunter.Scenario {
@@ -71,22 +73,42 @@ func Robustness(o Options) RobustnessResult {
 	// Transparency baseline: a pass-through injector (saturation window
 	// wide enough to never engage, no probabilistic faults) must leave
 	// the run bit-identical to one with no injector wired at all.
-	plain := run(burstScenario(cchunter.ChannelMemoryBus, 0))
-	wired := burstScenario(cchunter.ChannelMemoryBus, 0)
-	wired.Faults = cchunter.FaultConfig{SaturateWindow: 1, SaturateMax: 1 << 30, Seed: o.Seed}
-	through := run(wired)
-	out.BaselineIdentical = plain.Report.String() == through.Report.String() &&
-		equalBits(plain.Decoded, through.Decoded)
+	jobs := []runner.Job{{
+		Name: "robust/baseline",
+		Run: func(uint64) (interface{}, error) {
+			plain, err := burstScenario(cchunter.ChannelMemoryBus, 0).Run()
+			if err != nil {
+				return nil, err
+			}
+			wired := burstScenario(cchunter.ChannelMemoryBus, 0)
+			wired.Faults = cchunter.FaultConfig{SaturateWindow: 1, SaturateMax: 1 << 30, Seed: o.Seed}
+			through, err := wired.Run()
+			if err != nil {
+				return nil, err
+			}
+			return plain.Report.String() == through.Report.String() &&
+				equalBits(plain.Decoded, through.Decoded), nil
+		},
+	}}
 
 	for _, ch := range []cchunter.Channel{cchunter.ChannelMemoryBus, cchunter.ChannelIntegerDivider} {
 		for _, rate := range robustnessDropRates {
-			res := run(burstScenario(ch, rate))
-			s := summarizeBurst(ch, 1000, res)
-			out.Rows = append(out.Rows, robustnessRow(ch, rate, res, s.LikelihoodRatio, 0))
+			sc := burstScenario(ch, rate)
+			jobs = append(jobs, runner.Job{
+				Name: fmt.Sprintf("robust/%s/drop%.2f", ch, rate),
+				Run: func(uint64) (interface{}, error) {
+					res, err := sc.Run()
+					if err != nil {
+						return nil, err
+					}
+					s := summarizeBurst(sc.Channel, 1000, res)
+					return robustnessRow(sc.Channel, rate, res, s.LikelihoodRatio, 0), nil
+				},
+			})
 		}
 	}
 	for _, rate := range robustnessDropRates {
-		res := run(cchunter.Scenario{
+		sc := cchunter.Scenario{
 			Channel:       cchunter.ChannelSharedCache,
 			BandwidthBPS:  o.cacheBPS(100),
 			Message:       msg,
@@ -94,33 +116,65 @@ func Robustness(o Options) RobustnessResult {
 			QuantumCycles: o.cacheQuantum(),
 			Seed:          o.Seed,
 			Faults:        dropFaults(rate, o.Seed),
+		}
+		jobs = append(jobs, runner.Job{
+			Name: fmt.Sprintf("robust/cache/drop%.2f", rate),
+			Run: func(uint64) (interface{}, error) {
+				res, err := sc.Run()
+				if err != nil {
+					return nil, err
+				}
+				s := summarizeCache(100, res)
+				return robustnessRow(cchunter.ChannelSharedCache, rate, res, 0, s.PeakValue), nil
+			},
 		})
-		s := summarizeCache(100, res)
-		out.Rows = append(out.Rows, robustnessRow(cchunter.ChannelSharedCache, rate, res, 0, s.PeakValue))
 	}
 
 	// Benign rows: the same degraded sensor must not start alarming on
 	// innocent sharing — loss thins trains, it does not invent bursts.
 	for _, rate := range robustnessDropRates {
-		res := run(cchunter.Scenario{
+		sc := cchunter.Scenario{
 			Channel:        cchunter.ChannelNone,
 			Workloads:      []string{"gobmk", "sjeng"},
 			DurationQuanta: 32,
 			QuantumCycles:  o.quantum(),
 			Seed:           o.Seed,
 			Faults:         dropFaults(rate, o.Seed),
+		}
+		jobs = append(jobs, runner.Job{
+			Name: fmt.Sprintf("robust/benign/drop%.2f", rate),
+			Run: func(uint64) (interface{}, error) {
+				res, err := sc.Run()
+				if err != nil {
+					return nil, err
+				}
+				worstLR := 0.0
+				for _, v := range res.Report.Contention {
+					if v.Analysis.LikelihoodRatio > worstLR {
+						worstLR = v.Analysis.LikelihoodRatio
+					}
+				}
+				peak := 0.0
+				if osc := res.Report.Oscillation; osc != nil {
+					peak = osc.Best.PeakValue
+				}
+				return robustnessRow(cchunter.ChannelNone, rate, res, worstLR, peak), nil
+			},
 		})
-		worstLR := 0.0
-		for _, v := range res.Report.Contention {
-			if v.Analysis.LikelihoodRatio > worstLR {
-				worstLR = v.Analysis.LikelihoodRatio
+	}
+
+	var out RobustnessResult
+	for _, r := range o.runJobs(jobs) {
+		switch v := r.Value.(type) {
+		case bool:
+			out.BaselineIdentical = v
+		case RobustnessRow:
+			if v.Channel == cchunter.ChannelNone {
+				out.BenignRows = append(out.BenignRows, v)
+			} else {
+				out.Rows = append(out.Rows, v)
 			}
 		}
-		peak := 0.0
-		if osc := res.Report.Oscillation; osc != nil {
-			peak = osc.Best.PeakValue
-		}
-		out.BenignRows = append(out.BenignRows, robustnessRow(cchunter.ChannelNone, rate, res, worstLR, peak))
 	}
 	return out
 }

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"cchunter"
 	"cchunter/internal/core"
+	"cchunter/internal/runner"
 	"cchunter/internal/stats"
 )
 
@@ -42,20 +45,29 @@ var figure10Bandwidths = []float64{0.1, 10, 1000}
 // periodicity though with reduced strength at the lowest bandwidth.
 func Figure10(o Options) Figure10Result {
 	o = o.norm()
-	var out Figure10Result
+	var jobs []runner.Job
 	for _, paperBPS := range figure10Bandwidths {
 		bits := bitsForBandwidth(o, paperBPS)
 		msg := cchunter.RandomMessage(bits, o.Seed)
 
 		for _, ch := range []cchunter.Channel{cchunter.ChannelMemoryBus, cchunter.ChannelIntegerDivider} {
-			res := run(cchunter.Scenario{
+			sc := cchunter.Scenario{
 				Channel:       ch,
 				BandwidthBPS:  o.rowBPS(paperBPS),
 				Message:       msg,
 				QuantumCycles: o.rowQuantum(paperBPS),
 				Seed:          o.Seed,
+			}
+			jobs = append(jobs, runner.Job{
+				Name: fmt.Sprintf("fig10/%s/%gbps", ch, paperBPS),
+				Run: func(uint64) (interface{}, error) {
+					res, err := sc.Run()
+					if err != nil {
+						return nil, err
+					}
+					return summarizeBurst(sc.Channel, paperBPS, res), nil
+				},
 			})
-			out.Rows = append(out.Rows, summarizeBurst(ch, paperBPS, res))
 		}
 
 		sets := 512
@@ -64,15 +76,28 @@ func Figure10(o Options) Figure10Result {
 			// groups to fit a bit into the slot, as in Xu et al.
 			sets = 64
 		}
-		res := run(cchunter.Scenario{
+		sc := cchunter.Scenario{
 			Channel:       cchunter.ChannelSharedCache,
 			BandwidthBPS:  o.cacheBPS(paperBPS),
 			Message:       msg,
 			CacheSets:     sets,
 			QuantumCycles: o.cacheQuantum(),
 			Seed:          o.Seed,
+		}
+		jobs = append(jobs, runner.Job{
+			Name: fmt.Sprintf("fig10/cache/%gbps", paperBPS),
+			Run: func(uint64) (interface{}, error) {
+				res, err := sc.Run()
+				if err != nil {
+					return nil, err
+				}
+				return summarizeCache(paperBPS, res), nil
+			},
 		})
-		out.Rows = append(out.Rows, summarizeCache(paperBPS, res))
+	}
+	var out Figure10Result
+	for _, r := range o.runJobs(jobs) {
+		out.Rows = append(out.Rows, r.Value.(ChannelSummary))
 	}
 	return out
 }
@@ -202,59 +227,93 @@ type Figure12Result struct {
 	AllDetected bool
 }
 
+// figure12Run is one random message's outcome across all three
+// channels.
+type figure12Run struct {
+	busBins, divBins []float64
+	bus, div, cache  ChannelSummary
+}
+
 // Figure12 reproduces the encoded-message-pattern test: random 64-bit
 // messages (the paper uses 256) through all three channels. Despite
 // variations in peak Δt frequencies, likelihood ratios stay above 0.9
 // and the cache autocorrelograms barely move.
+//
+// Each message is one runner job; its message bits and scenario seed
+// come from the job's runner.DeriveSeed stream, so every message's
+// randomness is independent of every other's and of the worker count.
 func Figure12(o Options, messages int) Figure12Result {
 	o = o.norm()
 	if messages <= 0 {
 		messages = 256
 	}
+	jobs := make([]runner.Job, messages)
+	for i := range jobs {
+		jobs[i] = runner.Job{
+			Name: fmt.Sprintf("fig12/msg-%03d", i),
+			Run: func(seed uint64) (interface{}, error) {
+				msg := cchunter.RandomMessage(o.MessageBits, seed)
+				bus, err := (cchunter.Scenario{
+					Channel: cchunter.ChannelMemoryBus, BandwidthBPS: o.rowBPS(1000),
+					Message: msg, QuantumCycles: o.rowQuantum(1000), DurationQuanta: 2,
+					Seed: seed,
+				}).Run()
+				if err != nil {
+					return nil, err
+				}
+				div, err := (cchunter.Scenario{
+					Channel: cchunter.ChannelIntegerDivider, BandwidthBPS: o.rowBPS(1000),
+					Message: msg, QuantumCycles: o.rowQuantum(1000), DurationQuanta: 2,
+					Seed: seed,
+				}).Run()
+				if err != nil {
+					return nil, err
+				}
+				cache, err := (cchunter.Scenario{
+					Channel: cchunter.ChannelSharedCache, BandwidthBPS: o.cacheBPS(100),
+					Message: msg, CacheSets: 512, QuantumCycles: o.cacheQuantum(), Seed: seed,
+				}).Run()
+				if err != nil {
+					return nil, err
+				}
+				return figure12Run{
+					busBins: histFloats(bus.BusHistogram),
+					divBins: histFloats(div.DivHistogram),
+					bus:     summarizeBurst(cchunter.ChannelMemoryBus, 1000, bus),
+					div:     summarizeBurst(cchunter.ChannelIntegerDivider, 1000, div),
+					cache:   summarizeCache(100, cache),
+				}, nil
+			},
+		}
+	}
+
 	out := Figure12Result{Messages: messages, AllDetected: true}
 	out.BusLRMin, out.DivLRMin = 1, 1
 	out.CachePeakMin = 1
 	var busBins, divBins [][]float64
-	for i := 0; i < messages; i++ {
-		msg := cchunter.RandomMessage(o.MessageBits, o.Seed+uint64(i)*7919)
-		bus := run(cchunter.Scenario{
-			Channel: cchunter.ChannelMemoryBus, BandwidthBPS: o.rowBPS(1000),
-			Message: msg, QuantumCycles: o.rowQuantum(1000), DurationQuanta: 2,
-			Seed: o.Seed + uint64(i),
-		})
-		div := run(cchunter.Scenario{
-			Channel: cchunter.ChannelIntegerDivider, BandwidthBPS: o.rowBPS(1000),
-			Message: msg, QuantumCycles: o.rowQuantum(1000), DurationQuanta: 2,
-			Seed: o.Seed + uint64(i),
-		})
-		cache := run(cchunter.Scenario{
-			Channel: cchunter.ChannelSharedCache, BandwidthBPS: o.cacheBPS(100),
-			Message: msg, CacheSets: 512, QuantumCycles: o.cacheQuantum(), Seed: o.Seed + uint64(i),
-		})
-		busBins = append(busBins, histFloats(bus.BusHistogram))
-		divBins = append(divBins, histFloats(div.DivHistogram))
-		bs := summarizeBurst(cchunter.ChannelMemoryBus, 1000, bus)
-		ds := summarizeBurst(cchunter.ChannelIntegerDivider, 1000, div)
-		cs := summarizeCache(100, cache)
-		if bs.LikelihoodRatio < out.BusLRMin {
-			out.BusLRMin = bs.LikelihoodRatio
+	for _, r := range o.runJobs(jobs) {
+		mr := r.Value.(figure12Run)
+		busBins = append(busBins, mr.busBins)
+		divBins = append(divBins, mr.divBins)
+		if mr.bus.LikelihoodRatio < out.BusLRMin {
+			out.BusLRMin = mr.bus.LikelihoodRatio
 		}
-		if ds.LikelihoodRatio < out.DivLRMin {
-			out.DivLRMin = ds.LikelihoodRatio
+		if mr.div.LikelihoodRatio < out.DivLRMin {
+			out.DivLRMin = mr.div.LikelihoodRatio
 		}
-		if cs.PeakValue < out.CachePeakMin {
-			out.CachePeakMin = cs.PeakValue
+		if mr.cache.PeakValue < out.CachePeakMin {
+			out.CachePeakMin = mr.cache.PeakValue
 		}
-		if cs.PeakValue > out.CachePeakMax {
-			out.CachePeakMax = cs.PeakValue
+		if mr.cache.PeakValue > out.CachePeakMax {
+			out.CachePeakMax = mr.cache.PeakValue
 		}
-		if out.CacheLagMin == 0 || cs.PeakLag < out.CacheLagMin {
-			out.CacheLagMin = cs.PeakLag
+		if out.CacheLagMin == 0 || mr.cache.PeakLag < out.CacheLagMin {
+			out.CacheLagMin = mr.cache.PeakLag
 		}
-		if cs.PeakLag > out.CacheLagMax {
-			out.CacheLagMax = cs.PeakLag
+		if mr.cache.PeakLag > out.CacheLagMax {
+			out.CacheLagMax = mr.cache.PeakLag
 		}
-		if !bs.Detected || !ds.Detected || !cs.Detected {
+		if !mr.bus.Detected || !mr.div.Detected || !mr.cache.Detected {
 			out.AllDetected = false
 		}
 	}
@@ -320,24 +379,37 @@ type Figure13Result struct {
 // random conflict misses.
 func Figure13(o Options) Figure13Result {
 	o = o.norm()
-	var out Figure13Result
+	var jobs []runner.Job
 	for _, sets := range []int{64, 128, 256} {
-		res := run(cchunter.Scenario{
+		sc := cchunter.Scenario{
 			Channel:       cchunter.ChannelSharedCache,
 			BandwidthBPS:  o.cacheBPS(100),
 			Message:       cchunter.RandomMessage(min(o.MessageBits, 32), o.Seed),
 			CacheSets:     sets,
 			QuantumCycles: o.cacheQuantum(),
 			Seed:          o.Seed,
-		})
-		row := Figure13Row{Sets: sets, BitErrors: res.BitErrors}
-		if osc := res.Report.Oscillation; osc != nil {
-			row.PeakLag = osc.Best.FundamentalLag
-			row.PeakValue = osc.Best.PeakValue
-			row.Detected = osc.Detected
-			row.Autocorrelogram = osc.Best.Autocorrelogram
 		}
-		out.Rows = append(out.Rows, row)
+		jobs = append(jobs, runner.Job{
+			Name: fmt.Sprintf("fig13/%dsets", sets),
+			Run: func(uint64) (interface{}, error) {
+				res, err := sc.Run()
+				if err != nil {
+					return nil, err
+				}
+				row := Figure13Row{Sets: sc.CacheSets, BitErrors: res.BitErrors}
+				if osc := res.Report.Oscillation; osc != nil {
+					row.PeakLag = osc.Best.FundamentalLag
+					row.PeakValue = osc.Best.PeakValue
+					row.Detected = osc.Detected
+					row.Autocorrelogram = osc.Best.Autocorrelogram
+				}
+				return row, nil
+			},
+		})
+	}
+	var out Figure13Result
+	for _, r := range o.runJobs(jobs) {
+		out.Rows = append(out.Rows, r.Value.(Figure13Row))
 	}
 	return out
 }
@@ -386,29 +458,43 @@ func Figure14(o Options, quanta int) Figure14Result {
 	if quanta <= 0 {
 		quanta = 64
 	}
-	var out Figure14Result
+	var jobs []runner.Job
 	for i, pair := range Figure14Pairs() {
-		res := run(cchunter.Scenario{
+		sc := cchunter.Scenario{
 			Channel:        cchunter.ChannelNone,
 			Workloads:      []string{pair[0], pair[1]},
 			DurationQuanta: quanta,
 			QuantumCycles:  o.quantum(),
 			Seed:           o.Seed + uint64(i),
+		}
+		jobs = append(jobs, runner.Job{
+			Name: fmt.Sprintf("fig14/%s+%s", pair[0], pair[1]),
+			Run: func(uint64) (interface{}, error) {
+				res, err := sc.Run()
+				if err != nil {
+					return nil, err
+				}
+				row := Figure14Row{Pair: pair, BusHist: res.BusHistogram, DivHist: res.DivHistogram}
+				for _, v := range res.Report.Contention {
+					switch v.Kind {
+					case cchunter.EventBusLock:
+						row.BusLR = v.Analysis.LikelihoodRatio
+					case cchunter.EventDivContention:
+						row.DivLR = v.Analysis.LikelihoodRatio
+					}
+				}
+				if osc := res.Report.Oscillation; osc != nil {
+					row.PeakValue = osc.Best.PeakValue
+					row.Autocorrelogram = osc.Best.Autocorrelogram
+				}
+				row.FalseAlarm = res.Report.Detected
+				return row, nil
+			},
 		})
-		row := Figure14Row{Pair: pair, BusHist: res.BusHistogram, DivHist: res.DivHistogram}
-		for _, v := range res.Report.Contention {
-			switch v.Kind {
-			case cchunter.EventBusLock:
-				row.BusLR = v.Analysis.LikelihoodRatio
-			case cchunter.EventDivContention:
-				row.DivLR = v.Analysis.LikelihoodRatio
-			}
-		}
-		if osc := res.Report.Oscillation; osc != nil {
-			row.PeakValue = osc.Best.PeakValue
-			row.Autocorrelogram = osc.Best.Autocorrelogram
-		}
-		row.FalseAlarm = res.Report.Detected
+	}
+	var out Figure14Result
+	for _, r := range o.runJobs(jobs) {
+		row := r.Value.(Figure14Row)
 		if row.FalseAlarm {
 			out.FalseAlarms++
 		}

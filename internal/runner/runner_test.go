@@ -1,0 +1,205 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// hashJobs builds n CPU-bound jobs whose results depend only on the
+// derived seed, never on scheduling.
+func hashJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%02d", i),
+			Run: func(seed uint64) (interface{}, error) {
+				v := seed
+				for k := 0; k < 1000; k++ {
+					v = mix64(v)
+				}
+				return v, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestRunPreservesOrderAndDeterminism(t *testing.T) {
+	jobs := hashJobs(23)
+	serial, err := Run(1, 42, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(jobs) {
+		t.Fatalf("results = %d, want %d", len(serial), len(jobs))
+	}
+	for i, r := range serial {
+		if r.Name != jobs[i].Name {
+			t.Fatalf("result %d is %q, want %q: ordering broken", i, r.Name, jobs[i].Name)
+		}
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		parallel, err := Run(workers, 42, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if serial[i].Name != parallel[i].Name || !reflect.DeepEqual(serial[i].Value, parallel[i].Value) {
+				t.Fatalf("workers=%d: result %d (%s) diverged from serial run",
+					workers, i, parallel[i].Name)
+			}
+		}
+	}
+}
+
+func TestRunRootSeedChangesResults(t *testing.T) {
+	jobs := hashJobs(4)
+	a, _ := Run(2, 1, jobs)
+	b, _ := Run(2, 2, jobs)
+	same := 0
+	for i := range a {
+		if reflect.DeepEqual(a[i].Value, b[i].Value) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different root seeds produced identical results")
+	}
+}
+
+func TestRunCancelsOnFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%02d", i),
+			Run: func(uint64) (interface{}, error) {
+				started.Add(1)
+				if i == 3 {
+					return nil, boom
+				}
+				// Slow enough that the pool records the failure long
+				// before the other worker can drain the queue.
+				time.Sleep(time.Millisecond)
+				return i, nil
+			},
+		}
+	}
+	results, err := Run(2, 1, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if results == nil {
+		t.Fatal("results dropped on error")
+	}
+	if results[3].Err == nil {
+		t.Error("failing job's result lost")
+	}
+	// With 2 workers and the failure at job 3, dispatch must stop
+	// almost immediately; far fewer than the 50 jobs may start.
+	if n := started.Load(); n > 10 {
+		t.Errorf("%d jobs started after early failure, want dispatch to stop", n)
+	}
+	// Jobs that never ran report zero results, not phantom values.
+	if results[49].Value != nil || results[49].Name != "" {
+		t.Errorf("undispatched job has non-zero result: %+v", results[49])
+	}
+}
+
+func TestRunSerialErrorStopsImmediately(t *testing.T) {
+	var started int
+	jobs := []Job{
+		{Name: "ok", Run: func(uint64) (interface{}, error) { started++; return 1, nil }},
+		{Name: "bad", Run: func(uint64) (interface{}, error) { started++; return nil, errors.New("x") }},
+		{Name: "never", Run: func(uint64) (interface{}, error) { started++; return 3, nil }},
+	}
+	_, err := Run(1, 1, jobs)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if started != 2 {
+		t.Errorf("started = %d, want 2 (serial run must stop at the failure)", started)
+	}
+}
+
+func TestRunRejectsBadNames(t *testing.T) {
+	if _, err := Run(1, 1, []Job{
+		{Name: "a", Run: func(uint64) (interface{}, error) { return nil, nil }},
+		{Name: "a", Run: func(uint64) (interface{}, error) { return nil, nil }},
+	}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := Run(1, 1, []Job{
+		{Name: "", Run: func(uint64) (interface{}, error) { return nil, nil }},
+	}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	results, err := Run(4, 1, nil)
+	if err != nil || results != nil {
+		t.Errorf("empty run: %v, %v", results, err)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var dones []int
+	var total int
+	p := Pool{Workers: 3, OnProgress: func(pr Progress) {
+		dones = append(dones, pr.Done)
+		total = pr.Total
+		if pr.Last.Name == "" {
+			t.Error("progress without a job result")
+		}
+		if pr.Done == pr.Total && pr.ETA != 0 {
+			t.Errorf("final ETA = %v, want 0", pr.ETA)
+		}
+	}}
+	if _, err := p.Run(1, hashJobs(9)); err != nil {
+		t.Fatal(err)
+	}
+	if total != 9 || len(dones) != 9 {
+		t.Fatalf("callbacks: %d with total %d, want 9/9", len(dones), total)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done counts %v not monotone", dones)
+		}
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, "fig2") != DeriveSeed(1, "fig2") {
+		t.Error("derivation unstable")
+	}
+	if DeriveSeed(1, "fig2") == DeriveSeed(1, "fig3") {
+		t.Error("different names collide")
+	}
+	if DeriveSeed(1, "fig2") == DeriveSeed(2, "fig2") {
+		t.Error("different roots collide")
+	}
+	// Nearby roots and names must not produce correlated seeds: check
+	// all pairwise distinct over a small grid.
+	seen := map[uint64]string{}
+	for root := uint64(0); root < 64; root++ {
+		for i := 0; i < 64; i++ {
+			name := fmt.Sprintf("job-%d", i)
+			s := DeriveSeed(root, name)
+			if s == 0 {
+				t.Fatal("zero seed")
+			}
+			key := fmt.Sprintf("%d/%s", root, name)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s", prev, key)
+			}
+			seen[s] = key
+		}
+	}
+}
