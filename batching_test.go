@@ -1,0 +1,113 @@
+package cchunter
+
+import (
+	"reflect"
+	"testing"
+)
+
+// batchingScenarios are the equivalence corpus: every covert channel
+// plus a faulted-sensor run, so the regression covers all three event
+// kinds, the auditor's slot and oscillator paths, and a fault-injector
+// stage between batcher and listeners.
+func batchingScenarios() map[string]Scenario {
+	return map[string]Scenario{
+		"bus": {
+			Channel:       ChannelMemoryBus,
+			BandwidthBPS:  1000,
+			Message:       RandomMessage(16, 3),
+			QuantumCycles: testQuantum,
+		},
+		"divider": {
+			Channel:       ChannelIntegerDivider,
+			BandwidthBPS:  1000,
+			Message:       RandomMessage(16, 4),
+			QuantumCycles: testQuantum,
+		},
+		"cache": {
+			Channel:       ChannelSharedCache,
+			BandwidthBPS:  1000,
+			Message:       RandomMessage(8, 5),
+			CacheSets:     256,
+			QuantumCycles: testQuantum,
+		},
+		"bus-faulted": {
+			Channel:       ChannelMemoryBus,
+			BandwidthBPS:  1000,
+			Message:       RandomMessage(16, 3),
+			QuantumCycles: testQuantum,
+			Faults:        FaultConfig{DropProb: 0.05, JitterCycles: 100, Seed: 9},
+			RecordRaw:     true,
+		},
+	}
+}
+
+// TestBatchedDeliveryMatchesPerEvent pins the batched event-delivery
+// contract at the whole-pipeline level: a scenario run with per-event
+// callbacks (eventBatch 1) and runs at several batch sizes — the
+// default 512 and a prime that misaligns with every internal buffer —
+// must produce deeply equal Results: identical verdicts, decoded
+// bits, histograms, trains, and fault counters. Batching changes when
+// consumers see events, never what they see.
+func TestBatchedDeliveryMatchesPerEvent(t *testing.T) {
+	for name, sc := range batchingScenarios() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			perEvent := sc
+			perEvent.eventBatch = 1
+			want, err := perEvent.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, batch := range []int{0, 37} {
+				batched := sc
+				batched.eventBatch = batch
+				got, err := batched.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Report.String() != want.Report.String() {
+					t.Errorf("batch=%d: report differs:\n%s\nvs per-event:\n%s",
+						batch, got.Report, want.Report)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("batch=%d: result differs from per-event run", batch)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScenarioEventDelivery measures the whole pipeline — units,
+// fault-free delivery chain, auditor — under per-event callbacks
+// versus batched slice delivery. The bus channel's lock train plus a
+// busy L2 makes event delivery a visible fraction of run time.
+func BenchmarkScenarioEventDelivery(b *testing.B) {
+	base := Scenario{
+		Channel:       ChannelMemoryBus,
+		BandwidthBPS:  1000,
+		Message:       RandomMessage(32, 3),
+		QuantumCycles: testQuantum,
+		RecordRaw:     true,
+	}
+	for _, cfg := range []struct {
+		name  string
+		batch int
+	}{
+		{"per-event", 1},
+		{"batched", 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			sc := base
+			sc.eventBatch = cfg.batch
+			for i := 0; i < b.N; i++ {
+				res, err := sc.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Report.Detected {
+					b.Fatal("bus channel missed")
+				}
+			}
+		})
+	}
+}

@@ -215,6 +215,45 @@ func BenchmarkAutocorrelationCost(b *testing.B) {
 	}
 }
 
+// BenchmarkAutocorrelogram compares the O(n·maxLag) direct
+// autocorrelation against the Wiener–Khinchin FFT path at paper-scale
+// train lengths (a busy quantum's conflict train and the detector's
+// deepest lag budget). The fft-workspace sub-benchmark is the
+// detector's steady-state path and must report 0 allocs/op: the
+// caller-held stats.Workspace owns every scratch buffer after warmup.
+func BenchmarkAutocorrelogram(b *testing.B) {
+	const n, maxLag = 65536, 4096
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i%17) - 8
+	}
+	b.Run("naive", func(b *testing.B) {
+		var acf []float64
+		for i := 0; i < b.N; i++ {
+			acf = stats.AutocorrelogramNaive(xs, maxLag)
+		}
+		b.ReportMetric(acf[0], "r0")
+	})
+	b.Run("fft", func(b *testing.B) {
+		var acf []float64
+		for i := 0; i < b.N; i++ {
+			acf = stats.Autocorrelogram(xs, maxLag)
+		}
+		b.ReportMetric(acf[0], "r0")
+	})
+	b.Run("fft-workspace", func(b *testing.B) {
+		w := stats.NewWorkspace()
+		w.Autocorrelogram(xs, maxLag) // warm the scratch buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		var acf []float64
+		for i := 0; i < b.N; i++ {
+			acf = w.Autocorrelogram(xs, maxLag)
+		}
+		b.ReportMetric(acf[0], "r0")
+	})
+}
+
 // --- Ablations --------------------------------------------------------
 
 // BenchmarkConflictTrackerAblation compares the practical

@@ -7,6 +7,7 @@
 //	       [-sets 512] [-workloads gobmk,sjeng] [-quanta 0]
 //	       [-quantum 250000000] [-divisor 1] [-ideal] [-seed 1]
 //	       [-faults drop=0.05,jitter=200] [-v]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Examples:
 //
@@ -20,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"cchunter"
@@ -41,6 +44,8 @@ func main() {
 		strings.Join(cchunter.FaultSpecKeys(), ", ")+")")
 	seed := flag.Uint64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print histograms and per-window detail")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *list {
@@ -85,9 +90,12 @@ func main() {
 		sc.Message = nil
 	}
 
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+
 	res, err := sc.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cchunt:", err)
+		stopProfiles()
 		os.Exit(2)
 	}
 
@@ -120,8 +128,46 @@ func main() {
 		}
 	}
 
+	stopProfiles()
 	if res.Report.Detected {
 		os.Exit(1) // grep-able and script-friendly: alarm = non-zero
+	}
+}
+
+// startProfiles begins CPU profiling when requested and returns the
+// function that stops it and writes the heap profile. Callers must
+// invoke it before every exit from a profiled run — deferred calls
+// would be skipped by os.Exit, and cchunt exits non-zero by design
+// when it detects a channel.
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cchunt:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cchunt:", err)
+			os.Exit(2)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cchunt:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cchunt:", err)
+		}
 	}
 }
 

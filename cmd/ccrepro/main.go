@@ -5,6 +5,7 @@
 //
 //	ccrepro [-fig all|2,3,6,8,...] [-out out/] [-scale 100] [-seed 1]
 //	        [-messages 32] [-quanta 64] [-j N] [-v]
+//	        [-bench-out bench.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Figure ids: 2 3 4 5 6 7 8 10 11 12 13 14, "t1" for Table I, "m"
 // for the mitigation study, "e" for the evasion study, and "r" for
@@ -21,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -45,7 +47,29 @@ func main() {
 	quanta := flag.Int("quanta", 64, "observation quanta for Figure 14 (paper: 512)")
 	jobs := flag.Int("j", runtime.NumCPU(), "worker count for figures and their sweeps (1 = serial)")
 	verbose := flag.Bool("v", false, "print per-figure timing after the run")
+	benchOut := flag.String("bench-out", "", "write a benchmark-trajectory JSON report (ns, allocs, detection metrics per figure) to this file; forces -j 1 for per-figure attribution")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var bench *experiments.BenchReport
+	if *benchOut != "" {
+		// Serial execution makes the per-figure MemStats deltas and
+		// wall-clock times attributable to one figure each.
+		*jobs = 1
+		rep := experiments.NewBenchReport(*seed, *scale)
+		bench = &rep
+	}
 
 	opts := experiments.Options{Seed: *seed, TimeScale: *scale, Workers: *jobs}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -108,10 +132,27 @@ func main() {
 			continue
 		}
 		run := s.run
+		id := s.id
 		pending = append(pending, runner.Job{
 			Name: "fig" + s.id,
 			Run: func(uint64) (interface{}, error) {
+				if bench == nil {
+					summary, result := run()
+					return stepOutput{summary, result}, nil
+				}
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				t0 := time.Now()
 				summary, result := run()
+				ns := time.Since(t0).Nanoseconds()
+				runtime.ReadMemStats(&m1)
+				bench.Figures = append(bench.Figures, experiments.BenchFigure{
+					ID:      id,
+					NS:      ns,
+					Allocs:  m1.Mallocs - m0.Mallocs,
+					Bytes:   m1.TotalAlloc - m0.TotalAlloc,
+					Metrics: experiments.BenchMetrics(result),
+				})
 				return stepOutput{summary, result}, nil
 			},
 		})
@@ -133,6 +174,34 @@ func main() {
 		fmt.Println(out.summary)
 		fmt.Println()
 		writeCSVs(*outDir, ids[i], out.result)
+	}
+
+	if bench != nil {
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteBenchReport(f, *bench); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench report: %s (%d figures, calibration %dns)\n",
+			*benchOut, len(bench.Figures), bench.CalibrationNS)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *verbose {

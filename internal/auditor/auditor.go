@@ -239,6 +239,30 @@ func (a *Auditor) OnEvent(e trace.Event) {
 	}
 }
 
+// OnEvents implements trace.BatchListener. Each monitored unit's slot
+// sweeps the whole batch in turn — the slot test and counting-path
+// bookkeeping are hoisted out of the per-event hot loop. The slots and
+// the conflict capture path are independent state machines keyed only
+// on the event sequence, so the final auditor state is identical to
+// per-event delivery.
+func (a *Auditor) OnEvents(events []trace.Event) {
+	for _, s := range a.slots {
+		kind := s.kind
+		for i := range events {
+			if events[i].Kind == kind {
+				s.onEvent(events[i].Cycle)
+			}
+		}
+	}
+	if a.osc != nil {
+		for i := range events {
+			if events[i].Kind == trace.KindConflictMiss {
+				a.osc.onEvent(events[i])
+			}
+		}
+	}
+}
+
 // Flush closes out all Δt windows and quanta up to the given cycle;
 // call it after the simulation run so trailing quiet quanta are
 // recorded (hardware-wise, the daemon's final read).

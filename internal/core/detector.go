@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cchunter/internal/auditor"
+	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
 
@@ -159,6 +160,7 @@ func (r Report) String() string {
 type Detector struct {
 	aud *auditor.Auditor
 	cfg DetectorConfig
+	ws  *stats.Workspace
 }
 
 // NewDetector wraps an auditor. The auditor keeps collecting; call
@@ -173,7 +175,15 @@ func NewDetector(aud *auditor.Auditor, cfg DetectorConfig) *Detector {
 	if cfg.ObservationDivisor <= 0 {
 		cfg.ObservationDivisor = 1
 	}
-	return &Detector{aud: aud, cfg: cfg}
+	d := &Detector{aud: aud, cfg: cfg}
+	if d.cfg.Oscillation.Workspace == nil {
+		// One scratch workspace serves every couple and observation
+		// window this detector ever analyzes; Analyze is synchronous,
+		// so the borrow never overlaps.
+		d.ws = stats.NewWorkspace()
+		d.cfg.Oscillation.Workspace = d.ws
+	}
+	return d
 }
 
 // Analyze flushes the auditor up to endCycle and runs both detection

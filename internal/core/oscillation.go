@@ -49,6 +49,12 @@ type OscillationConfig struct {
 	RawPairSeries bool
 	// Contexts is the hardware context count.
 	Contexts int
+	// Workspace, when non-nil, supplies the FFT/autocorrelation scratch
+	// buffers, so analyzing many couples and windows in sequence
+	// allocates no per-call scratch. The workspace is borrowed only for
+	// the duration of each autocorrelation (results are copied out) and
+	// must not be shared across goroutines.
+	Workspace *stats.Workspace
 }
 
 // DefaultOscillationConfig returns parameters matching the paper's
@@ -250,7 +256,14 @@ func analyzeSeries(series []float64, cfg OscillationConfig) OscillationAnalysis 
 	if maxLag > len(series)-1 {
 		maxLag = len(series) - 1
 	}
-	out.Autocorrelogram = stats.Autocorrelogram(series, maxLag)
+	if cfg.Workspace != nil {
+		// The workspace owns the slice it returns and will overwrite it
+		// on its next use; OscillationAnalysis outlives that, so copy.
+		acf := cfg.Workspace.Autocorrelogram(series, maxLag)
+		out.Autocorrelogram = append(make([]float64, 0, len(acf)), acf...)
+	} else {
+		out.Autocorrelogram = stats.Autocorrelogram(series, maxLag)
+	}
 	out.Peaks = stats.Peaks(out.Autocorrelogram, cfg.PeakThreshold)
 	// Track the running minimum so each candidate peak's prominence
 	// (rise above the deepest preceding valley) is available in one

@@ -176,7 +176,10 @@ func (s Stats) CorruptionRate() float64 {
 
 // Injector is a trace.Listener that applies the configured faults and
 // forwards the surviving (possibly corrupted) events downstream. It is
-// deterministic for a given (Config, event stream) pair.
+// deterministic for a given (Config, event stream) pair — and, because
+// the fault state machine is strictly per-event, for a given stream
+// the delivered sequence is identical whether events arrive one
+// callback at a time (OnEvent) or in slices (OnEvents).
 type Injector struct {
 	cfg  Config
 	out  trace.Listener
@@ -187,6 +190,8 @@ type Injector struct {
 	held    *trace.Event // event delayed by a reorder fault
 	satSlot uint64       // current saturation window index
 	satSeen int          // events delivered in the current window
+
+	outBuf []trace.Event // survivors of the batch being processed
 }
 
 // NewInjector validates cfg and builds an injector forwarding to out.
@@ -208,27 +213,51 @@ func NewInjector(cfg Config, out trace.Listener) (*Injector, error) {
 
 // OnEvent implements trace.Listener.
 func (in *Injector) OnEvent(e trace.Event) {
+	in.outBuf = in.process(e, in.outBuf[:0])
+	trace.Deliver(in.out, in.outBuf)
+}
+
+// OnEvents implements trace.BatchListener: the whole batch runs
+// through the fault stages in one pass, survivors accumulate in a
+// reused arena, and the downstream chain is entered exactly once —
+// the amortization that makes an always-on injector affordable. The
+// fault state machine is applied to each event in order, so the
+// delivered sequence and every RNG draw are identical to the
+// per-event path's.
+func (in *Injector) OnEvents(events []trace.Event) {
+	out := in.outBuf[:0]
+	for _, e := range events {
+		out = in.process(e, out)
+	}
+	in.outBuf = out
+	trace.Deliver(in.out, out)
+}
+
+// process applies every fault stage to one event, appending the
+// survivors (zero, one, or more events, counting reorder releases and
+// duplicates) to out.
+func (in *Injector) process(e trace.Event, out []trace.Event) []trace.Event {
 	in.st.Seen++
 
 	// Destructive faults first: an event that is never delivered
 	// cannot also be corrupted.
 	if in.cfg.TruncateAfter != 0 && e.Cycle >= in.cfg.TruncateAfter {
 		in.st.Truncated++
-		return
+		return out
 	}
 	if in.skip > 0 {
 		in.skip--
 		in.st.DroppedBurst++
-		return
+		return out
 	}
 	if in.cfg.BurstDropProb > 0 && in.rng.Float64() < in.cfg.BurstDropProb {
 		in.skip = in.cfg.BurstLen - 1
 		in.st.DroppedBurst++
-		return
+		return out
 	}
 	if in.cfg.DropProb > 0 && in.rng.Float64() < in.cfg.DropProb {
 		in.st.Dropped++
-		return
+		return out
 	}
 	if in.cfg.SaturateWindow > 0 && in.cfg.SaturateMax > 0 {
 		slot := e.Cycle / in.cfg.SaturateWindow
@@ -237,7 +266,7 @@ func (in *Injector) OnEvent(e trace.Event) {
 		}
 		if in.satSeen >= in.cfg.SaturateMax {
 			in.st.Saturated++
-			return
+			return out
 		}
 		in.satSeen++
 	}
@@ -273,27 +302,29 @@ func (in *Injector) OnEvent(e trace.Event) {
 	if in.held != nil {
 		held := *in.held
 		in.held = nil
-		in.deliver(e)
-		in.deliver(held)
-		return
+		out = in.emit(e, out)
+		return in.emit(held, out)
 	}
 	if in.cfg.ReorderProb > 0 && in.rng.Float64() < in.cfg.ReorderProb {
 		held := e
 		in.held = &held
 		in.st.Reordered++
-		return
+		return out
 	}
-	in.deliver(e)
+	return in.emit(e, out)
 }
 
-func (in *Injector) deliver(e trace.Event) {
-	in.out.OnEvent(e)
+// emit appends a surviving event (plus its duplicate when the dup
+// fault fires) to the batch being assembled.
+func (in *Injector) emit(e trace.Event, out []trace.Event) []trace.Event {
+	out = append(out, e)
 	in.st.Delivered++
 	if in.cfg.DupProb > 0 && in.rng.Float64() < in.cfg.DupProb {
-		in.out.OnEvent(e)
+		out = append(out, e)
 		in.st.Delivered++
 		in.st.Duplicated++
 	}
+	return out
 }
 
 // Flush releases any event still held by a reorder fault. Call it at
@@ -302,7 +333,8 @@ func (in *Injector) Flush() {
 	if in.held != nil {
 		e := *in.held
 		in.held = nil
-		in.deliver(e)
+		in.outBuf = in.emit(e, in.outBuf[:0])
+		trace.Deliver(in.out, in.outBuf)
 	}
 }
 

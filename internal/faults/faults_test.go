@@ -269,3 +269,48 @@ func TestIsZeroAndString(t *testing.T) {
 		t.Errorf("zero config renders %q", got)
 	}
 }
+
+func TestBatchedDeliveryMatchesPerEvent(t *testing.T) {
+	// Batched delivery is a pure amortization: the fault state machine
+	// runs over each event in order either way, so the delivered
+	// sequence, every RNG draw, and the counters must be identical at
+	// any batch size — including sizes that split drop bursts and
+	// reorder holds across batch boundaries.
+	cfg := Config{
+		DropProb:      0.05,
+		BurstDropProb: 0.01,
+		BurstLen:      4,
+		JitterCycles:  50,
+		DupProb:       0.03,
+		ReorderProb:   0.05,
+		CtxFlipProb:   0.02,
+		CtxSmearProb:  0.02,
+		Seed:          7,
+	}
+	events := stream(2000, 100)
+
+	perEvent, perStats := inject(t, cfg, events)
+
+	for _, batch := range []int{1, 3, 64, 512, len(events)} {
+		var c collector
+		in, err := NewInjector(cfg, &c)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		for lo := 0; lo < len(events); lo += batch {
+			hi := lo + batch
+			if hi > len(events) {
+				hi = len(events)
+			}
+			in.OnEvents(events[lo:hi])
+		}
+		in.Flush()
+		if !reflect.DeepEqual(c.events, perEvent.events) {
+			t.Errorf("batch=%d: delivered stream differs from per-event path (%d vs %d events)",
+				batch, len(c.events), len(perEvent.events))
+		}
+		if in.Stats() != perStats {
+			t.Errorf("batch=%d: stats differ: %+v vs %+v", batch, in.Stats(), perStats)
+		}
+	}
+}

@@ -83,6 +83,14 @@ type Config struct {
 	// zero value leaves the path pristine and the simulation bit-for-bit
 	// identical to a build without the injector.
 	Faults faults.Config
+	// EventBatch sets the event-delivery batch size between the
+	// hardware units and the fault-injector/listener chain. 0 selects
+	// trace.DefaultBatchSize; 1 disables batching and delivers each
+	// event through a direct per-event callback. Batching is purely a
+	// performance knob: events reach every consumer in the same order
+	// at any batch size, so results are byte-identical (pinned by
+	// TestBatchedDeliveryMatchesPerEvent in the root package).
+	EventBatch int
 	// Seed drives all scheduling randomness.
 	Seed uint64
 }

@@ -68,9 +68,14 @@ func (s *System) quiesce() {
 		}
 		p.pending = &req
 	}
+	// Drain the delivery pipeline front to back: buffered batches first
+	// (they feed the injector), then any event the injector's reorder
+	// stage is still holding, so listeners see a complete stream before
+	// the caller analyzes.
+	if s.batcher != nil {
+		s.batcher.Flush()
+	}
 	if s.injector != nil {
-		// Release any event the reorder stage is still holding so
-		// listeners see a complete stream before the caller analyzes.
 		s.injector.Flush()
 	}
 }

@@ -69,9 +69,12 @@ type System struct {
 	tracker   conflict.Tracker
 	bus       *bus.Bus
 	listeners trace.Tee
-	// emit is the listener the hardware units report to: the fault
-	// injector when one is configured, otherwise &listeners directly.
+	// emit is the listener the hardware units report to: a batcher in
+	// front of the fault injector (when one is configured) or of
+	// &listeners directly; with cfg.EventBatch == 1 the batcher is
+	// omitted and emit is the downstream stage itself.
 	emit     trace.Listener
+	batcher  *trace.Batcher
 	injector *faults.Injector
 	procs    []*Process
 	rng      *stats.RNG
@@ -97,6 +100,10 @@ func New(cfg Config) (*System, error) {
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
+	if cfg.EventBatch < 0 {
+		return nil, fmt.Errorf("%w: EventBatch must be >= 0, got %d",
+			ErrBadConfig, cfg.EventBatch)
+	}
 	s := &System{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
 	s.emit = &s.listeners
 	if !cfg.Faults.IsZero() {
@@ -106,6 +113,10 @@ func New(cfg Config) (*System, error) {
 		}
 		s.injector = inj
 		s.emit = inj
+	}
+	if cfg.EventBatch != 1 {
+		s.batcher = trace.NewBatcher(s.emit, cfg.EventBatch)
+		s.emit = s.batcher
 	}
 	s.bus = bus.New(cfg.Bus, s.emit)
 	l2, err := cache.New(cfg.L2)

@@ -6,23 +6,24 @@ package stats
 //
 // for a single lag p. It returns 0 when the series is constant (zero
 // denominator) or when p is out of the usable range [0, len(xs)-1].
+// Numerator and denominator accumulate in one fused walk after the
+// mean, matching the centered pass Autocorrelogram's paths share.
 func Autocorrelation(xs []float64, p int) float64 {
 	n := len(xs)
 	if p < 0 || p >= n {
 		return 0
 	}
 	m := Mean(xs)
-	var den float64
-	for _, x := range xs {
+	var num, den float64
+	for i, x := range xs {
 		d := x - m
 		den += d * d
+		if i+p < n {
+			num += d * (xs[i+p] - m)
+		}
 	}
 	if den == 0 {
 		return 0
-	}
-	var num float64
-	for i := 0; i+p < n; i++ {
-		num += (xs[i] - m) * (xs[i+p] - m)
 	}
 	return num / den
 }
@@ -31,36 +32,17 @@ func Autocorrelation(xs []float64, p int) float64 {
 // 0..maxLag inclusive (out[0] is always 1 for a non-constant series).
 // This is the chart the oscillatory-pattern detector inspects for
 // periodic peaks. maxLag is clamped to len(xs)-1.
+//
+// Above the measured size crossover the Wiener–Khinchin FFT path
+// (O(n log n)) is selected automatically; below it the direct §IV-D
+// sum runs (see fft.go and DESIGN.md §10). Callers on a hot path
+// should hold a Workspace instead, which computes the same values
+// without allocating.
 func Autocorrelogram(xs []float64, maxLag int) []float64 {
-	n := len(xs)
-	if n == 0 {
-		return nil
-	}
-	if maxLag >= n {
-		maxLag = n - 1
-	}
-	if maxLag < 0 {
-		maxLag = 0
-	}
-	out := make([]float64, maxLag+1)
-	m := Mean(xs)
-	centered := make([]float64, n)
-	var den float64
-	for i, x := range xs {
-		centered[i] = x - m
-		den += centered[i] * centered[i]
-	}
-	if den == 0 {
-		return out // all zeros: constant series has no autocorrelation
-	}
-	for p := 0; p <= maxLag; p++ {
-		var num float64
-		for i := 0; i+p < n; i++ {
-			num += centered[i] * centered[i+p]
-		}
-		out[p] = num / den
-	}
-	return out
+	var w Workspace
+	// The workspace is function-local, so handing its output buffer to
+	// the caller is safe: nothing else will overwrite it.
+	return w.Autocorrelogram(xs, maxLag)
 }
 
 // Peak describes a local maximum in an autocorrelogram.

@@ -46,6 +46,19 @@ func (r *Recorder) OnEvent(e Event) {
 	r.train.Append(e)
 }
 
+// OnEvents implements BatchListener: an unfiltered, unlimited recorder
+// bulk-appends the whole batch into its train arena; filtered or
+// capped recorders keep the per-event path, whose checks they need.
+func (r *Recorder) OnEvents(events []Event) {
+	if r.kinds == nil && r.limit == 0 {
+		r.train.AppendBatch(events)
+		return
+	}
+	for _, e := range events {
+		r.OnEvent(e)
+	}
+}
+
 // Train returns the recorded train.
 func (r *Recorder) Train() *Train { return r.train }
 
@@ -59,6 +72,14 @@ type Tee []Listener
 func (t Tee) OnEvent(e Event) {
 	for _, l := range t {
 		l.OnEvent(e)
+	}
+}
+
+// OnEvents implements BatchListener: each fan-out target gets the
+// batch through its own fastest entry point.
+func (t Tee) OnEvents(events []Event) {
+	for _, l := range t {
+		Deliver(l, events)
 	}
 }
 

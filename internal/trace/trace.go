@@ -105,6 +105,51 @@ func (t *Train) Append(e Event) {
 	t.events = append(t.events, e)
 }
 
+// Reserve ensures capacity for n more events, growing the backing
+// arena geometrically so repeated batch appends amortize to O(1) per
+// event regardless of batch size.
+func (t *Train) Reserve(n int) {
+	need := len(t.events) + n
+	if cap(t.events) >= need {
+		return
+	}
+	newCap := 2 * cap(t.events)
+	if newCap < need {
+		newCap = need
+	}
+	if newCap < 1024 {
+		newCap = 1024
+	}
+	grown := make([]Event, len(t.events), newCap)
+	copy(grown, t.events)
+	t.events = grown
+}
+
+// AppendBatch adds a slice of events with one capacity reservation and
+// a single monotonicity pass — the batched-delivery equivalent of
+// calling Append per event, with identical panic semantics on
+// out-of-order input. The input slice is copied, never retained.
+func (t *Train) AppendBatch(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	last := uint64(0)
+	if n := len(t.events); n > 0 {
+		last = t.events[n-1].Cycle
+	} else {
+		last = events[0].Cycle
+	}
+	for _, e := range events {
+		if e.Cycle < last {
+			panic(fmt.Sprintf("trace: out-of-order event at cycle %d after %d",
+				e.Cycle, last))
+		}
+		last = e.Cycle
+	}
+	t.Reserve(len(events))
+	t.events = append(t.events, events...)
+}
+
 // AppendClamped adds an event to the train, clamping a non-monotonic
 // cycle up to the previous event's cycle instead of panicking. It
 // returns true when clamping occurred. This is the ingestion path for

@@ -85,6 +85,12 @@ type Scenario struct {
 	// Detector overrides parts of the detection configuration; leave
 	// zero for paper defaults.
 	Detector *DetectorOverrides
+
+	// eventBatch overrides the simulator's event-delivery batch size
+	// (0 = default, 1 = per-event callbacks). Unexported: batching is
+	// observationally invisible, so only the equivalence regression
+	// test has a reason to vary it.
+	eventBatch int
 }
 
 // DetectorOverrides adjusts detection parameters without exposing the
@@ -198,6 +204,7 @@ func (sc Scenario) Run() (*Result, error) {
 		return nil, fmt.Errorf("cchunter: unknown mitigation %q", sc.Mitigation)
 	}
 	simCfg.Faults = faults.Config(sc.Faults)
+	simCfg.EventBatch = sc.eventBatch
 	system, err := sim.New(simCfg)
 	if err != nil {
 		return nil, fmt.Errorf("cchunter: building machine: %w", err)

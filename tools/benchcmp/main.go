@@ -1,0 +1,141 @@
+// Command benchcmp compares two ccrepro -bench-out reports and exits
+// non-zero when the current run regressed against the baseline.
+//
+// Usage:
+//
+//	benchcmp -baseline tools/bench_baseline.json -current BENCH_pipeline.json
+//	         [-tolerance 0.20] [-metric-tolerance 1e-6]
+//
+// Wall-clock comparison across machines is done through each report's
+// calibration workload: the baseline's ns are scaled by the ratio of
+// the two calibration times before the tolerance applies, so a CI
+// runner that is 2× slower than the machine that produced the
+// baseline does not trip the gate — only a real slowdown of the
+// pipeline relative to raw machine speed does. Detection metrics are
+// deterministic given seed and scale and are compared (near-)exactly:
+// a "faster" pipeline that changes a likelihood ratio or a peak lag
+// is a broken pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"cchunter/internal/experiments"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "tools/bench_baseline.json", "committed baseline report")
+	currentPath := flag.String("current", "BENCH_pipeline.json", "freshly generated report")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed relative ns/allocs regression after calibration scaling")
+	metricTol := flag.Float64("metric-tolerance", 1e-6, "allowed relative drift in detection metrics")
+	flag.Parse()
+
+	baseline, err := readReport(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := readReport(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	if baseline.CalibrationNS <= 0 || current.CalibrationNS <= 0 {
+		fatal(fmt.Errorf("non-positive calibration (baseline %d, current %d)",
+			baseline.CalibrationNS, current.CalibrationNS))
+	}
+	speed := float64(current.CalibrationNS) / float64(baseline.CalibrationNS)
+	fmt.Printf("machine speed ratio (current/baseline calibration): %.3f\n", speed)
+
+	base := map[string]experiments.BenchFigure{}
+	for _, f := range baseline.Figures {
+		base[f.ID] = f
+	}
+
+	failures := 0
+	seen := map[string]bool{}
+	for _, cur := range current.Figures {
+		seen[cur.ID] = true
+		b, ok := base[cur.ID]
+		if !ok {
+			fmt.Printf("fig %-3s NEW    %12dns (no baseline)\n", cur.ID, cur.NS)
+			continue
+		}
+		scaledNS := float64(b.NS) * speed
+		ratio := float64(cur.NS) / scaledNS
+		status := "ok"
+		if ratio > 1+*tolerance {
+			status = "REGRESSED"
+			failures++
+		}
+		fmt.Printf("fig %-3s %-9s %12dns vs %12.0fns scaled baseline (%.2f×)\n",
+			cur.ID, status, cur.NS, scaledNS, ratio)
+		if b.Allocs > 0 {
+			aRatio := float64(cur.Allocs) / float64(b.Allocs)
+			if aRatio > 1+*tolerance {
+				fmt.Printf("fig %-3s ALLOCS-REGRESSED %d vs %d (%.2f×)\n",
+					cur.ID, cur.Allocs, b.Allocs, aRatio)
+				failures++
+			}
+		}
+		failures += compareMetrics(cur.ID, b.Metrics, cur.Metrics, *metricTol)
+	}
+	for _, b := range baseline.Figures {
+		if !seen[b.ID] {
+			fmt.Printf("fig %-3s MISSING from current report\n", b.ID)
+			failures++
+		}
+	}
+
+	if failures > 0 {
+		fmt.Printf("benchcmp: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: all figures within tolerance")
+}
+
+// compareMetrics checks every metric the two reports share and flags
+// both drift and disappearance; metrics only the current report has
+// are new instrumentation, not a failure.
+func compareMetrics(id string, base, cur map[string]float64, tol float64) int {
+	failures := 0
+	for k, bv := range base {
+		cv, ok := cur[k]
+		if !ok {
+			fmt.Printf("fig %-3s METRIC-MISSING %s\n", id, k)
+			failures++
+			continue
+		}
+		if !close(bv, cv, tol) {
+			fmt.Printf("fig %-3s METRIC-DRIFT   %s: %g -> %g\n", id, k, bv, cv)
+			failures++
+		}
+	}
+	return failures
+}
+
+// close reports whether two metric values agree within the relative
+// tolerance (absolute near zero).
+func close(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return diff <= tol
+	}
+	return diff <= tol*scale
+}
+
+func readReport(path string) (experiments.BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return experiments.BenchReport{}, err
+	}
+	defer f.Close()
+	return experiments.ReadBenchReport(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}
