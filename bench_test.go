@@ -476,6 +476,35 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkMetricsOverhead runs the same scenario with the metrics
+// registry absent (the default nil fast path every uninstrumented run
+// takes — each hot-path hook is one nil check) and attached. The
+// disabled sub-benchmark is the shipping configuration: CI's benchmark
+// trajectory gate (ccrepro -bench-out vs tools/bench_baseline.json)
+// pins its cost, and the two sub-benchmarks let a local run quantify
+// the enabled-path premium directly.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	run := func(b *testing.B, reg *cchunter.MetricsRegistry) {
+		for i := 0; i < b.N; i++ {
+			res, err := cchunter.Scenario{
+				Channel:       cchunter.ChannelMemoryBus,
+				BandwidthBPS:  1000,
+				Message:       cchunter.RandomMessage(32, 1),
+				QuantumCycles: 2_500_000,
+				Metrics:       reg,
+			}.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Report.Detected {
+				b.Fatal("channel missed")
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, cchunter.NewMetricsRegistry()) })
+}
+
 // BenchmarkExtMitigation runs the post-detection defense study.
 func BenchmarkExtMitigation(b *testing.B) {
 	opts := benchOpts

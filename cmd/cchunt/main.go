@@ -6,7 +6,7 @@
 //	cchunt -channel bus|divider|cache|none [-bps 1000] [-bits 64]
 //	       [-sets 512] [-workloads gobmk,sjeng] [-quanta 0]
 //	       [-quantum 250000000] [-divisor 1] [-ideal] [-seed 1]
-//	       [-faults drop=0.05,jitter=200] [-v]
+//	       [-faults drop=0.05,jitter=200] [-v] [-metrics-addr :8080]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Examples:
@@ -15,11 +15,14 @@
 //	cchunt -channel cache -sets 256 -v       # cache channel, verbose
 //	cchunt -channel none -workloads stream,stream   # false-alarm check
 //	cchunt -channel bus -faults drop=0.05    # degraded sensor path
+//	cchunt -channel cache -metrics-addr :8080   # live pipeline metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -43,6 +46,7 @@ func main() {
 	faultSpec := flag.String("faults", "", "sensor fault spec, comma-separated key=value (keys: "+
 		strings.Join(cchunter.FaultSpecKeys(), ", ")+")")
 	seed := flag.Uint64("seed", 1, "random seed")
+	metricsAddr := flag.String("metrics-addr", "", "serve live pipeline metrics as JSON on this address (e.g. :8080) for the duration of the run")
 	verbose := flag.Bool("v", false, "print histograms and per-window detail")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -88,6 +92,19 @@ func main() {
 	}
 	if sc.Channel == cchunter.ChannelNone {
 		sc.Message = nil
+	}
+
+	var reg *cchunter.MetricsRegistry
+	if *metricsAddr != "" {
+		reg = cchunter.NewMetricsRegistry()
+		sc.Metrics = reg
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			usageError("bad -metrics-addr: %v", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, cchunter.MetricsHandler(reg)) }()
 	}
 
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)

@@ -5,7 +5,8 @@
 //
 //	ccrepro [-fig all|2,3,6,8,...] [-out out/] [-scale 100] [-seed 1]
 //	        [-messages 32] [-quanta 64] [-j N] [-v]
-//	        [-bench-out bench.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	        [-bench-out bench.json] [-metrics-out metrics.json]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Figure ids: 2 3 4 5 6 7 8 10 11 12 13 14, "t1" for Table I, "m"
 // for the mitigation study, "e" for the evasion study, and "r" for
@@ -14,9 +15,14 @@
 // every quantity the detector depends on (see DESIGN.md).
 // -j N runs figures (and their internal sweeps) on N workers; output
 // is byte-identical at every N, and -j 1 is the serial path.
+// -metrics-out instruments every figure with its own metrics registry
+// and writes the per-figure snapshots (counters, gauges, stage timers)
+// as one JSON object keyed by figure id; the CSV output stays
+// byte-identical to an uninstrumented run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +32,9 @@ import (
 	"strings"
 	"time"
 
+	"cchunter"
 	"cchunter/internal/experiments"
+	"cchunter/internal/obs"
 	"cchunter/internal/runner"
 	"cchunter/internal/trace"
 )
@@ -48,6 +56,7 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "worker count for figures and their sweeps (1 = serial)")
 	verbose := flag.Bool("v", false, "print per-figure timing after the run")
 	benchOut := flag.String("bench-out", "", "write a benchmark-trajectory JSON report (ns, allocs, detection metrics per figure) to this file; forces -j 1 for per-figure attribution")
+	metricsOut := flag.String("metrics-out", "", "instrument each figure with a pipeline metrics registry and write the per-figure snapshots as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -89,40 +98,48 @@ func main() {
 
 	type step struct {
 		id  string
-		run func() (summary string, result interface{})
+		run func(o experiments.Options) (summary string, result interface{})
 	}
 	steps := []step{
-		{"2", func() (string, interface{}) { r := experiments.Figure2(opts); return r.Summary(), r }},
-		{"3", func() (string, interface{}) { r := experiments.Figure3(opts); return r.Summary(), r }},
-		{"4", func() (string, interface{}) {
-			r := experiments.Figure4(opts)
+		{"2", func(o experiments.Options) (string, interface{}) { r := experiments.Figure2(o); return r.Summary(), r }},
+		{"3", func(o experiments.Options) (string, interface{}) { r := experiments.Figure3(o); return r.Summary(), r }},
+		{"4", func(o experiments.Options) (string, interface{}) {
+			r := experiments.Figure4(o)
 			writeTrain(*outDir, "fig4a_buslocks.csv", r.BusLocks)
 			writeTrain(*outDir, "fig4b_divcontention.csv", r.DivContention)
 			return r.Summary(), r
 		}},
-		{"5", func() (string, interface{}) { r := experiments.Figure5(opts); return r.Summary(), r }},
-		{"6", func() (string, interface{}) { r := experiments.Figure6(opts); return r.Summary(), r }},
-		{"7", func() (string, interface{}) { r := experiments.Figure7(opts); return r.Summary(), r }},
-		{"8", func() (string, interface{}) {
-			r := experiments.Figure8(opts)
+		{"5", func(o experiments.Options) (string, interface{}) { r := experiments.Figure5(o); return r.Summary(), r }},
+		{"6", func(o experiments.Options) (string, interface{}) { r := experiments.Figure6(o); return r.Summary(), r }},
+		{"7", func(o experiments.Options) (string, interface{}) { r := experiments.Figure7(o); return r.Summary(), r }},
+		{"8", func(o experiments.Options) (string, interface{}) {
+			r := experiments.Figure8(o)
 			writeTrain(*outDir, "fig8a_conflicts.csv", r.Train)
 			return r.Summary(), r
 		}},
-		{"10", func() (string, interface{}) { r := experiments.Figure10(opts); return r.Summary(), r }},
-		{"11", func() (string, interface{}) { r := experiments.Figure11(opts); return r.Summary(), r }},
-		{"12", func() (string, interface{}) {
-			r := experiments.Figure12(opts, *messages)
+		{"10", func(o experiments.Options) (string, interface{}) { r := experiments.Figure10(o); return r.Summary(), r }},
+		{"11", func(o experiments.Options) (string, interface{}) { r := experiments.Figure11(o); return r.Summary(), r }},
+		{"12", func(o experiments.Options) (string, interface{}) {
+			r := experiments.Figure12(o, *messages)
 			return r.Summary(), r
 		}},
-		{"13", func() (string, interface{}) { r := experiments.Figure13(opts); return r.Summary(), r }},
-		{"14", func() (string, interface{}) {
-			r := experiments.Figure14(opts, *quanta)
+		{"13", func(o experiments.Options) (string, interface{}) { r := experiments.Figure13(o); return r.Summary(), r }},
+		{"14", func(o experiments.Options) (string, interface{}) {
+			r := experiments.Figure14(o, *quanta)
 			return r.Summary(), r
 		}},
-		{"t1", func() (string, interface{}) { r := experiments.TableI(); return r.Summary(), r }},
-		{"m", func() (string, interface{}) { r := experiments.ExtMitigation(opts); return r.Summary(), r }},
-		{"e", func() (string, interface{}) { r := experiments.ExtEvasion(opts); return r.Summary(), r }},
-		{"r", func() (string, interface{}) { r := experiments.Robustness(opts); return r.Summary(), r }},
+		{"t1", func(experiments.Options) (string, interface{}) { r := experiments.TableI(); return r.Summary(), r }},
+		{"m", func(o experiments.Options) (string, interface{}) { r := experiments.ExtMitigation(o); return r.Summary(), r }},
+		{"e", func(o experiments.Options) (string, interface{}) { r := experiments.ExtEvasion(o); return r.Summary(), r }},
+		{"r", func(o experiments.Options) (string, interface{}) { r := experiments.Robustness(o); return r.Summary(), r }},
+	}
+
+	// With -metrics-out, each figure gets a private registry: its
+	// internal sweep jobs share it (the registry is race-safe), and the
+	// snapshots stay attributable to one figure even at -j > 1.
+	var regs map[string]*cchunter.MetricsRegistry
+	if *metricsOut != "" {
+		regs = make(map[string]*cchunter.MetricsRegistry)
 	}
 
 	var pending []runner.Job
@@ -133,17 +150,23 @@ func main() {
 		}
 		run := s.run
 		id := s.id
-		pending = append(pending, runner.Job{
+		stepOpts := opts
+		if regs != nil {
+			reg := cchunter.NewMetricsRegistry()
+			regs[id] = reg
+			stepOpts.Metrics = reg
+		}
+		job := runner.Job{
 			Name: "fig" + s.id,
 			Run: func(uint64) (interface{}, error) {
 				if bench == nil {
-					summary, result := run()
+					summary, result := run(stepOpts)
 					return stepOutput{summary, result}, nil
 				}
 				var m0, m1 runtime.MemStats
 				runtime.ReadMemStats(&m0)
 				t0 := time.Now()
-				summary, result := run()
+				summary, result := run(stepOpts)
 				ns := time.Since(t0).Nanoseconds()
 				runtime.ReadMemStats(&m1)
 				bench.Figures = append(bench.Figures, experiments.BenchFigure{
@@ -155,7 +178,11 @@ func main() {
 				})
 				return stepOutput{summary, result}, nil
 			},
-		})
+		}
+		if reg := regs[id]; reg != nil {
+			job.Stages = reg.StageTimes
+		}
+		pending = append(pending, job)
 		ids = append(ids, s.id)
 	}
 
@@ -176,6 +203,20 @@ func main() {
 		writeCSVs(*outDir, ids[i], out.result)
 	}
 
+	if regs != nil {
+		snaps := make(map[string]*cchunter.MetricsSnapshot, len(ids))
+		for _, id := range ids {
+			snaps["fig"+id] = regs[id].Snapshot()
+		}
+		buf, err := json.MarshalIndent(snaps, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*metricsOut, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics report: %s (%d figures)\n", *metricsOut, len(ids))
+	}
 	if bench != nil {
 		f, err := os.Create(*benchOut)
 		if err != nil {
@@ -219,12 +260,20 @@ func main() {
 }
 
 // progressLine keeps one live status line on stderr: jobs done/total,
-// elapsed time, and a uniform-cost ETA.
+// elapsed time, a uniform-cost ETA, and — when the job carried a
+// metrics registry — where the finished figure spent its time.
 func progressLine(p runner.Progress) {
 	line := fmt.Sprintf("[%d/%d] %s elapsed, eta %s — %s (%s)",
 		p.Done, p.Total,
 		p.Elapsed.Round(time.Second), p.ETA.Round(time.Second),
 		p.Last.Name, p.Last.Elapsed.Round(time.Millisecond))
+	if len(p.Last.Stages) > 0 {
+		var parts []string
+		for _, name := range obs.TopStages(p.Last.Stages, 2) {
+			parts = append(parts, fmt.Sprintf("%s %s", name, p.Last.Stages[name].Round(time.Millisecond)))
+		}
+		line += " [" + strings.Join(parts, " ") + "]"
+	}
 	fmt.Fprintf(os.Stderr, "\r%-78s", line)
 }
 

@@ -1,9 +1,12 @@
 package cchunter
 
 import (
+	"net/http"
+
 	"cchunter/internal/auditor"
 	"cchunter/internal/core"
 	"cchunter/internal/faults"
+	"cchunter/internal/obs"
 	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
@@ -55,7 +58,24 @@ type (
 	// Degradation qualifies a verdict rendered from an imperfect
 	// sensor path (loss, saturation, confidence).
 	Degradation = core.Degradation
+	// MetricsRegistry collects pipeline observability data (counters,
+	// gauges, latency histograms) when assigned to Scenario.Metrics.
+	// A nil registry disables recording at near-zero cost.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a frozen, JSON-marshalable copy of a
+	// MetricsRegistry, attached to Report.Metrics on instrumented runs.
+	MetricsSnapshot = obs.Snapshot
 )
+
+// NewMetricsRegistry returns an empty observability registry. Assign
+// it to Scenario.Metrics before Run to instrument the pipeline; read
+// the snapshot from Result.Report.Metrics afterwards, or serve it live
+// with MetricsHandler.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsHandler serves a registry as JSON over HTTP — the live
+// endpoint behind cchunt -metrics-addr. A nil registry serves "{}".
+func MetricsHandler(r *MetricsRegistry) http.Handler { return obs.Handler(r) }
 
 // ParseFaultSpec parses a comma-separated key=value fault
 // specification (e.g. "drop=0.05,jitter=200,seed=7") into a

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cchunter/internal/obs"
 	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
@@ -92,6 +93,19 @@ type slot struct {
 	windows     uint64 // Δt windows closed so far
 	saturations uint64 // windows whose 16-bit accumulator hit its ceiling
 	satThisWin  bool
+
+	mWindows *obs.Counter   // Δt windows closed
+	mQuanta  *obs.Counter   // quantum histograms recorded by the daemon
+	mDensity *obs.Histogram // per-window event densities
+
+	// Local metric tallies, flushed to the registry at quantum rolls
+	// and on Auditor.Flush. The slot is single-writer (the delivery
+	// goroutine), so plain increments here keep the per-window cost of
+	// an instrumented run to an array bump instead of atomic traffic;
+	// densityAcc's last entry collects everything past the registry
+	// histogram's top bound. Nil when uninstrumented.
+	densityAcc []uint64
+	winAcc     uint64
 }
 
 func newSlot(kind trace.Kind, deltaT uint64, bins int, quantumLen uint64) *slot {
@@ -115,6 +129,14 @@ func (s *slot) advance(cycle uint64) {
 // the next Δt window, also rolling the quantum when crossed.
 func (s *slot) closeWindow() {
 	s.hist.Add(int(s.accum))
+	if s.densityAcc != nil {
+		d := int(s.accum)
+		if d >= len(s.densityAcc) {
+			d = len(s.densityAcc) - 1
+		}
+		s.densityAcc[d]++
+		s.winAcc++
+	}
 	s.accum = 0
 	s.windows++
 	if s.satThisWin {
@@ -126,7 +148,25 @@ func (s *slot) closeWindow() {
 		s.records = append(s.records, QuantumHistogram{Quantum: s.quantum, Hist: s.hist})
 		s.hist = stats.NewHistogram(s.bins)
 		s.quantum = s.windowStart / s.quantumLen
+		s.mQuanta.Inc()
+		s.flushMetrics()
 	}
+}
+
+// flushMetrics publishes the locally tallied window metrics; the
+// quantum roll is the natural cadence (the daemon's own drain point).
+func (s *slot) flushMetrics() {
+	if s.densityAcc == nil {
+		return
+	}
+	for d, n := range s.densityAcc {
+		if n != 0 {
+			s.mDensity.ObserveN(float64(d), n)
+			s.densityAcc[d] = 0
+		}
+	}
+	s.mWindows.Add(s.winAcc)
+	s.winAcc = 0
 }
 
 func (s *slot) onEvent(cycle uint64) {
@@ -156,6 +196,42 @@ type Auditor struct {
 	cfg   Config
 	slots []*slot
 	osc   *oscillator
+
+	reg     *obs.Registry
+	mEvents *obs.Counter // events entering the auditor
+}
+
+// Instrument points the auditor at a metrics registry: each monitored
+// slot records its Δt-window fills and per-window densities, and the
+// conflict capture path its recorded/deduplicated/dropped entries.
+// Call after the Monitor calls (slots registered later are picked up
+// too — Monitor instruments new slots from the stored registry). A nil
+// registry keeps every instrument nil, the no-op fast path.
+func (a *Auditor) Instrument(reg *obs.Registry) {
+	a.reg = reg
+	a.mEvents = reg.Counter("auditor.events")
+	for _, s := range a.slots {
+		s.instrument(reg)
+	}
+	if a.osc != nil {
+		a.osc.instrument(reg)
+	}
+}
+
+// instrument resolves a slot's instruments, named by the monitored
+// event kind (e.g. auditor.bus-lock.density).
+func (s *slot) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	prefix := "auditor." + s.kind.String() + "."
+	s.mWindows = reg.Counter(prefix + "windows")
+	s.mQuanta = reg.Counter(prefix + "quanta")
+	// Densities are small integers bounded by the histogram depth;
+	// power-of-two buckets show the occupancy shape at a glance.
+	s.mDensity = reg.Histogram(prefix+"density", []float64{0, 1, 2, 4, 8, 16, 32, 64, 128})
+	// One tally per exact density up to the top bound, plus a catch-all.
+	s.densityAcc = make([]uint64, 130)
 }
 
 // New builds an auditor. A zero HistogramBins or VectorBytes selects
@@ -211,7 +287,9 @@ func (a *Auditor) Monitor(kind trace.Kind, deltaT uint64) error {
 			return fmt.Errorf("auditor: %v already monitored", kind)
 		}
 	}
-	a.slots = append(a.slots, newSlot(kind, deltaT, a.cfg.HistogramBins, a.cfg.QuantumCycles))
+	s := newSlot(kind, deltaT, a.cfg.HistogramBins, a.cfg.QuantumCycles)
+	s.instrument(a.reg)
+	a.slots = append(a.slots, s)
 	return nil
 }
 
@@ -224,11 +302,13 @@ func (a *Auditor) MonitorConflicts() error {
 		return errors.New("auditor: conflict monitoring already enabled")
 	}
 	a.osc = newOscillator(a.cfg.VectorBytes, a.cfg.QuantumCycles)
+	a.osc.instrument(a.reg)
 	return nil
 }
 
 // OnEvent implements trace.Listener.
 func (a *Auditor) OnEvent(e trace.Event) {
+	a.mEvents.Inc()
 	for _, s := range a.slots {
 		if s.kind == e.Kind {
 			s.onEvent(e.Cycle)
@@ -246,6 +326,7 @@ func (a *Auditor) OnEvent(e trace.Event) {
 // on the event sequence, so the final auditor state is identical to
 // per-event delivery.
 func (a *Auditor) OnEvents(events []trace.Event) {
+	a.mEvents.Add(uint64(len(events)))
 	for _, s := range a.slots {
 		kind := s.kind
 		for i := range events {
@@ -269,6 +350,7 @@ func (a *Auditor) OnEvents(events []trace.Event) {
 func (a *Auditor) Flush(cycle uint64) {
 	for _, s := range a.slots {
 		s.advance(cycle)
+		s.flushMetrics()
 	}
 	if a.osc != nil {
 		a.osc.flush()

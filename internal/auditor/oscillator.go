@@ -1,6 +1,9 @@
 package auditor
 
-import "cchunter/internal/trace"
+import (
+	"cchunter/internal/obs"
+	"cchunter/internal/trace"
+)
 
 // oscillator models the conflict-miss capture path: two alternating
 // 128-byte vector registers that record, for every conflict miss, the
@@ -32,6 +35,19 @@ type oscillator struct {
 	prevSet  uint32
 	prevA    uint8
 	prevV    uint8
+
+	mRecorded *obs.Counter // entries drained into the train
+	mDeduped  *obs.Counter // same-set same-pair runs collapsed
+	mSwaps    *obs.Counter // vector-register swaps
+}
+
+func (o *oscillator) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	o.mRecorded = reg.Counter("auditor.conflicts.recorded")
+	o.mDeduped = reg.Counter("auditor.conflicts.deduped")
+	o.mSwaps = reg.Counter("auditor.conflicts.swaps")
 }
 
 func newOscillator(vectorBytes int, _ uint64) *oscillator {
@@ -44,12 +60,14 @@ func newOscillator(vectorBytes int, _ uint64) *oscillator {
 
 func (o *oscillator) onEvent(e trace.Event) {
 	if o.havePrev && e.Unit == o.prevSet && e.Actor == o.prevA && e.Victim == o.prevV {
+		o.mDeduped.Inc()
 		return // same-set same-pair run: hardware dedup
 	}
 	o.havePrev = true
 	o.prevSet, o.prevA, o.prevV = e.Unit, e.Actor, e.Victim
 	if len(o.active) >= o.capacity {
 		o.swaps++
+		o.mSwaps.Inc()
 		o.drainActive()
 	}
 	o.active = append(o.active, e)
@@ -62,6 +80,7 @@ func (o *oscillator) onEvent(e trace.Event) {
 // time stamping hardware would — and counts the clamps so the detector
 // can qualify its verdict.
 func (o *oscillator) drainActive() {
+	o.mRecorded.Add(uint64(len(o.active)))
 	for _, e := range o.active {
 		if o.train.AppendClamped(e) {
 			o.clamped++

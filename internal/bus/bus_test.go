@@ -86,6 +86,87 @@ func TestZeroConfigGetsDefaults(t *testing.T) {
 	}
 }
 
+// TestOperationSequences drives the bus through mixed access/lock
+// sequences and checks completion and wait cycles at every step.
+func TestOperationSequences(t *testing.T) {
+	type op struct {
+		lock       bool
+		now        uint64
+		ctx        uint8
+		wantDone   uint64
+		wantWaited uint64
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		ops  []op
+	}{
+		{"back-to-back-accesses", Config{AccessCycles: 60, LockCycles: 400}, []op{
+			{false, 0, 0, 60, 0},
+			{false, 10, 1, 120, 50},
+			{false, 120, 0, 180, 0},
+		}},
+		{"lock-stalls-access", Config{AccessCycles: 60, LockCycles: 400}, []op{
+			{true, 100, 0, 500, 0},
+			{false, 150, 1, 560, 350},
+		}},
+		{"access-stalls-lock", Config{AccessCycles: 60, LockCycles: 400}, []op{
+			{false, 0, 1, 60, 0},
+			{true, 10, 0, 460, 50},
+		}},
+		{"idle-gap-no-wait", Config{AccessCycles: 60, LockCycles: 400}, []op{
+			{true, 0, 0, 400, 0},
+			{false, 1000, 1, 1060, 0},
+		}},
+		{"lock-queue", Config{AccessCycles: 10, LockCycles: 100}, []op{
+			{true, 0, 0, 100, 0},
+			{true, 0, 1, 200, 100},
+			{true, 0, 0, 300, 200},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := New(tc.cfg, nil)
+			for i, o := range tc.ops {
+				var done, waited uint64
+				if o.lock {
+					done, waited = b.LockAccess(o.now, o.ctx)
+				} else {
+					done, waited = b.Access(o.now, o.ctx)
+				}
+				if done != o.wantDone || waited != o.wantWaited {
+					t.Errorf("op %d: done=%d waited=%d, want done=%d waited=%d",
+						i, done, waited, o.wantDone, o.wantWaited)
+				}
+			}
+		})
+	}
+}
+
+// TestConfigDefaults checks each zero field falls back to the default
+// independently — a partially specified config is valid input.
+func TestConfigDefaults(t *testing.T) {
+	def := DefaultConfig()
+	cases := []struct {
+		name                 string
+		cfg                  Config
+		wantAccess, wantLock uint64
+	}{
+		{"all-zero", Config{}, def.AccessCycles, def.LockCycles},
+		{"access-only", Config{AccessCycles: 7}, 7, def.LockCycles},
+		{"lock-only", Config{LockCycles: 9_999}, def.AccessCycles, 9_999},
+		{"fully-specified", Config{AccessCycles: 3, LockCycles: 11}, 3, 11},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := New(tc.cfg, nil).Config()
+			if got.AccessCycles != tc.wantAccess || got.LockCycles != tc.wantLock {
+				t.Errorf("config = %+v, want access=%d lock=%d", got, tc.wantAccess, tc.wantLock)
+			}
+		})
+	}
+}
+
 func TestContentionObservableLatencyDifference(t *testing.T) {
 	// The spy's decoding premise: average access latency under a
 	// storm of bus locks is clearly higher than on an idle bus.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cchunter/internal/auditor"
+	"cchunter/internal/obs"
 	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
@@ -28,6 +29,11 @@ type DetectorConfig struct {
 	// a real telemetry path that reports its own drops). It folds into
 	// every verdict's Degradation; 0 for a pristine sensor path.
 	UpstreamLossRate float64
+	// Metrics, when non-nil, receives analysis observability: per-stage
+	// timing spans (burst scan, oscillation lag scan), window and
+	// verdict counters, and FFT-vs-naive autocorrelation path tallies.
+	// Observational only — verdicts are byte-identical either way.
+	Metrics *obs.Registry
 }
 
 // DefaultDetectorConfig returns the paper-calibrated detector for a
@@ -132,6 +138,11 @@ type Report struct {
 	// (1 when every sensor path was pristine). A verdict — either way —
 	// at low confidence calls for re-observation, not silence.
 	Confidence float64
+	// Metrics is a snapshot of the pipeline's observability registry,
+	// present only when a run was instrumented (DetectorConfig.Metrics
+	// or Scenario.Metrics). It never influences any verdict field and
+	// is omitted from the rendered summary.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // String renders a terse human-readable summary.
@@ -189,6 +200,8 @@ func NewDetector(aud *auditor.Auditor, cfg DetectorConfig) *Detector {
 // Analyze flushes the auditor up to endCycle and runs both detection
 // algorithms over everything recorded so far.
 func (d *Detector) Analyze(endCycle uint64) Report {
+	reg := d.cfg.Metrics
+	span := reg.Timer("detect.analyze_ns").Start()
 	d.aud.Flush(endCycle)
 	rep := Report{Confidence: 1}
 	for _, kind := range []trace.Kind{trace.KindBusLock, trace.KindDivContention} {
@@ -196,7 +209,9 @@ func (d *Detector) Analyze(endCycle uint64) Report {
 		if d.aud.DeltaT(kind) == 0 {
 			continue // not monitored
 		}
+		burstSpan := reg.Timer("detect.burst_ns").Start()
 		a := AnalyzeBursts(recs, d.cfg.Burst)
+		burstSpan.End()
 		integ := d.aud.Integrity(kind)
 		deg := degradation(d.cfg.UpstreamLossRate, integ.SaturationRate(), 0, integ.Windows)
 		rep.Contention = append(rep.Contention, ContentionVerdict{Kind: kind, Analysis: a, Degradation: deg})
@@ -212,9 +227,12 @@ func (d *Detector) Analyze(endCycle uint64) Report {
 		if window == 0 {
 			window = d.cfg.QuantumCycles
 		}
+		oscSpan := reg.Timer("detect.oscillation_ns").Start()
 		v := &OscillationVerdict{
 			Windows: AnalyzeOscillationWindows(train, 0, endCycle, window, d.cfg.Oscillation),
 		}
+		oscSpan.End()
+		reg.Counter("detect.windows").Add(uint64(len(v.Windows)))
 		v.Best, _ = BestWindow(v.Windows)
 		for _, w := range v.Windows {
 			if w.Detected {
@@ -234,6 +252,17 @@ func (d *Detector) Analyze(endCycle uint64) Report {
 		if v.Degradation.Confidence < rep.Confidence {
 			rep.Confidence = v.Degradation.Confidence
 		}
+	}
+	span.End()
+	if reg != nil {
+		// The lag scans above ran through the detector's workspace;
+		// publish which side of the FFT crossover they landed on.
+		if d.ws != nil {
+			fft, naive := d.ws.PathCounts()
+			reg.Gauge("stats.autocorr.fft").Set(int64(fft))
+			reg.Gauge("stats.autocorr.naive").Set(int64(naive))
+		}
+		rep.Metrics = reg.Snapshot()
 	}
 	return rep
 }

@@ -44,6 +44,12 @@ type Options struct {
 	// (default GOMAXPROCS; 1 = serial). Results are identical at
 	// every worker count.
 	Workers int
+	// Metrics, when non-nil, instruments every scenario the experiment
+	// runs (see Scenario.Metrics). The registry is race-safe, so a
+	// figure's parallel sub-runs may share one; figure results are
+	// byte-identical with or without it. ccrepro -metrics-out gives
+	// each figure its own registry and dumps the snapshots.
+	Metrics *cchunter.MetricsRegistry
 }
 
 func (o Options) norm() Options {
@@ -124,9 +130,11 @@ func (o Options) cacheBPS(paperBPS float64) float64 {
 	return paperBPS * o.cacheScale()
 }
 
-// run executes a scenario, failing loudly: experiment configurations
-// are code, so an error here is a bug, not user input.
-func run(sc cchunter.Scenario) *cchunter.Result {
+// run executes a scenario with the experiment's instrumentation,
+// failing loudly: experiment configurations are code, so an error here
+// is a bug, not user input.
+func (o Options) run(sc cchunter.Scenario) *cchunter.Result {
+	sc.Metrics = o.Metrics
 	res, err := sc.Run()
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
@@ -148,7 +156,8 @@ func (o Options) runJobs(jobs []runner.Job) []runner.Result {
 // scenarioJob wraps one scenario as a runner job that ignores the
 // derived seed: the scenario's own Seed is part of the experiment's
 // pinned configuration.
-func scenarioJob(name string, sc cchunter.Scenario) runner.Job {
+func (o Options) scenarioJob(name string, sc cchunter.Scenario) runner.Job {
+	sc.Metrics = o.Metrics
 	return runner.Job{Name: name, Run: func(uint64) (interface{}, error) {
 		return sc.Run()
 	}}

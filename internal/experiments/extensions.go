@@ -58,6 +58,7 @@ func ExtMitigation(o Options) MitigationResult {
 			Message:    msg,
 			Mitigation: c.mit,
 			Seed:       o.Seed,
+			Metrics:    o.Metrics,
 		}
 		switch c.ch {
 		case cchunter.ChannelSharedCache:
@@ -148,6 +149,7 @@ func ExtEvasion(o Options) EvasionResult {
 			DurationQuanta: 2,
 			EvasionNoise:   noise,
 			Seed:           o.Seed,
+			Metrics:        o.Metrics,
 		}
 		jobs = append(jobs, runner.Job{
 			Name: fmt.Sprintf("evade/noise%.0f%%", noise*100),

@@ -25,7 +25,7 @@ type Figure2Result struct {
 func Figure2(o Options) Figure2Result {
 	o = o.norm()
 	msg := o.message()
-	res := run(cchunter.Scenario{
+	res := o.run(cchunter.Scenario{
 		Channel:        cchunter.ChannelMemoryBus,
 		BandwidthBPS:   o.rowBPS(1000),
 		Message:        msg,
@@ -56,7 +56,7 @@ type Figure3Result struct {
 func Figure3(o Options) Figure3Result {
 	o = o.norm()
 	msg := o.message()
-	res := run(cchunter.Scenario{
+	res := o.run(cchunter.Scenario{
 		Channel:        cchunter.ChannelIntegerDivider,
 		BandwidthBPS:   o.rowBPS(1000),
 		Message:        msg,
@@ -89,7 +89,7 @@ func Figure4(o Options) Figure4Result {
 	o = o.norm()
 	msg := o.message()
 	results := o.runJobs([]runner.Job{
-		scenarioJob("fig4/bus", cchunter.Scenario{
+		o.scenarioJob("fig4/bus", cchunter.Scenario{
 			Channel:        cchunter.ChannelMemoryBus,
 			BandwidthBPS:   o.rowBPS(1000),
 			Message:        msg,
@@ -98,7 +98,7 @@ func Figure4(o Options) Figure4Result {
 			Seed:           o.Seed,
 			RecordRaw:      true,
 		}),
-		scenarioJob("fig4/div", cchunter.Scenario{
+		o.scenarioJob("fig4/div", cchunter.Scenario{
 			Channel:        cchunter.ChannelIntegerDivider,
 			BandwidthBPS:   o.rowBPS(1000),
 			Message:        msg,
@@ -176,7 +176,7 @@ func Figure6(o Options) Figure6Result {
 	o = o.norm()
 	msg := o.message()
 	results := o.runJobs([]runner.Job{
-		scenarioJob("fig6/bus", cchunter.Scenario{
+		o.scenarioJob("fig6/bus", cchunter.Scenario{
 			Channel:        cchunter.ChannelMemoryBus,
 			BandwidthBPS:   o.rowBPS(1000),
 			Message:        msg,
@@ -184,7 +184,7 @@ func Figure6(o Options) Figure6Result {
 			DurationQuanta: 2,
 			Seed:           o.Seed,
 		}),
-		scenarioJob("fig6/div", cchunter.Scenario{
+		o.scenarioJob("fig6/div", cchunter.Scenario{
 			Channel:        cchunter.ChannelIntegerDivider,
 			BandwidthBPS:   o.rowBPS(1000),
 			Message:        msg,
@@ -217,7 +217,7 @@ type Figure7Result struct {
 func Figure7(o Options) Figure7Result {
 	o = o.norm()
 	msg := o.message()
-	res := run(cchunter.Scenario{
+	res := o.run(cchunter.Scenario{
 		Channel:       cchunter.ChannelSharedCache,
 		BandwidthBPS:  o.cacheBPS(100),
 		Message:       msg,
@@ -259,7 +259,7 @@ type Figure8Result struct {
 // close to (slightly above) the set count.
 func Figure8(o Options) Figure8Result {
 	o = o.norm()
-	res := run(cchunter.Scenario{
+	res := o.run(cchunter.Scenario{
 		Channel:       cchunter.ChannelSharedCache,
 		BandwidthBPS:  o.cacheBPS(100),
 		Message:       o.message(),

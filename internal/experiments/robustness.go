@@ -67,6 +67,7 @@ func Robustness(o Options) RobustnessResult {
 			QuantumCycles: o.rowQuantum(1000),
 			Seed:          o.Seed,
 			Faults:        dropFaults(rate, o.Seed),
+			Metrics:       o.Metrics,
 		}
 	}
 
@@ -116,6 +117,7 @@ func Robustness(o Options) RobustnessResult {
 			QuantumCycles: o.cacheQuantum(),
 			Seed:          o.Seed,
 			Faults:        dropFaults(rate, o.Seed),
+			Metrics:       o.Metrics,
 		}
 		jobs = append(jobs, runner.Job{
 			Name: fmt.Sprintf("robust/cache/drop%.2f", rate),
@@ -140,6 +142,7 @@ func Robustness(o Options) RobustnessResult {
 			QuantumCycles:  o.quantum(),
 			Seed:           o.Seed,
 			Faults:         dropFaults(rate, o.Seed),
+			Metrics:        o.Metrics,
 		}
 		jobs = append(jobs, runner.Job{
 			Name: fmt.Sprintf("robust/benign/drop%.2f", rate),

@@ -57,6 +57,7 @@ func Figure10(o Options) Figure10Result {
 				Message:       msg,
 				QuantumCycles: o.rowQuantum(paperBPS),
 				Seed:          o.Seed,
+				Metrics:       o.Metrics,
 			}
 			jobs = append(jobs, runner.Job{
 				Name: fmt.Sprintf("fig10/%s/%gbps", ch, paperBPS),
@@ -83,6 +84,7 @@ func Figure10(o Options) Figure10Result {
 			CacheSets:     sets,
 			QuantumCycles: o.cacheQuantum(),
 			Seed:          o.Seed,
+			Metrics:       o.Metrics,
 		}
 		jobs = append(jobs, runner.Job{
 			Name: fmt.Sprintf("fig10/cache/%gbps", paperBPS),
@@ -171,7 +173,7 @@ type Figure11Result struct {
 // repetitive peaks return.
 func Figure11(o Options) Figure11Result {
 	o = o.norm()
-	res := run(cchunter.Scenario{
+	res := o.run(cchunter.Scenario{
 		Channel:       cchunter.ChannelSharedCache,
 		BandwidthBPS:  o.cacheBPS(0.1),
 		Message:       cchunter.RandomMessage(4, o.Seed),
@@ -256,7 +258,7 @@ func Figure12(o Options, messages int) Figure12Result {
 				bus, err := (cchunter.Scenario{
 					Channel: cchunter.ChannelMemoryBus, BandwidthBPS: o.rowBPS(1000),
 					Message: msg, QuantumCycles: o.rowQuantum(1000), DurationQuanta: 2,
-					Seed: seed,
+					Seed: seed, Metrics: o.Metrics,
 				}).Run()
 				if err != nil {
 					return nil, err
@@ -264,7 +266,7 @@ func Figure12(o Options, messages int) Figure12Result {
 				div, err := (cchunter.Scenario{
 					Channel: cchunter.ChannelIntegerDivider, BandwidthBPS: o.rowBPS(1000),
 					Message: msg, QuantumCycles: o.rowQuantum(1000), DurationQuanta: 2,
-					Seed: seed,
+					Seed: seed, Metrics: o.Metrics,
 				}).Run()
 				if err != nil {
 					return nil, err
@@ -272,6 +274,7 @@ func Figure12(o Options, messages int) Figure12Result {
 				cache, err := (cchunter.Scenario{
 					Channel: cchunter.ChannelSharedCache, BandwidthBPS: o.cacheBPS(100),
 					Message: msg, CacheSets: 512, QuantumCycles: o.cacheQuantum(), Seed: seed,
+					Metrics: o.Metrics,
 				}).Run()
 				if err != nil {
 					return nil, err
@@ -388,6 +391,7 @@ func Figure13(o Options) Figure13Result {
 			CacheSets:     sets,
 			QuantumCycles: o.cacheQuantum(),
 			Seed:          o.Seed,
+			Metrics:       o.Metrics,
 		}
 		jobs = append(jobs, runner.Job{
 			Name: fmt.Sprintf("fig13/%dsets", sets),
@@ -466,6 +470,7 @@ func Figure14(o Options, quanta int) Figure14Result {
 			DurationQuanta: quanta,
 			QuantumCycles:  o.quantum(),
 			Seed:           o.Seed + uint64(i),
+			Metrics:        o.Metrics,
 		}
 		jobs = append(jobs, runner.Job{
 			Name: fmt.Sprintf("fig14/%s+%s", pair[0], pair[1]),

@@ -44,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cchunter/internal/obs"
 	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
@@ -192,6 +193,36 @@ type Injector struct {
 	satSeen int          // events delivered in the current window
 
 	outBuf []trace.Event // survivors of the batch being processed
+
+	// Live metrics, published per delivery (see Instrument). Gauges
+	// mirror the Stats counters so a metrics endpoint shows sensor
+	// degradation while the run is in flight.
+	mSeen, mDelivered, mLost, mCorrupted *obs.Gauge
+}
+
+// Instrument points the injector at a metrics registry. After every
+// delivery the injector publishes its seen/delivered/lost/corrupted
+// totals as gauges. A nil registry disables publishing.
+func (in *Injector) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	in.mSeen = reg.Gauge("faults.seen")
+	in.mDelivered = reg.Gauge("faults.delivered")
+	in.mLost = reg.Gauge("faults.lost")
+	in.mCorrupted = reg.Gauge("faults.corrupted")
+}
+
+// publish pushes the current Stats totals into the gauges.
+func (in *Injector) publish() {
+	if in.mSeen == nil {
+		return
+	}
+	in.mSeen.Set(int64(in.st.Seen))
+	in.mDelivered.Set(int64(in.st.Delivered))
+	in.mLost.Set(int64(in.st.Lost()))
+	in.mCorrupted.Set(int64(in.st.Jittered + in.st.Duplicated + in.st.Reordered +
+		in.st.CtxFlipped + in.st.CtxSmeared))
 }
 
 // NewInjector validates cfg and builds an injector forwarding to out.
@@ -214,6 +245,7 @@ func NewInjector(cfg Config, out trace.Listener) (*Injector, error) {
 // OnEvent implements trace.Listener.
 func (in *Injector) OnEvent(e trace.Event) {
 	in.outBuf = in.process(e, in.outBuf[:0])
+	in.publish()
 	trace.Deliver(in.out, in.outBuf)
 }
 
@@ -230,6 +262,7 @@ func (in *Injector) OnEvents(events []trace.Event) {
 		out = in.process(e, out)
 	}
 	in.outBuf = out
+	in.publish()
 	trace.Deliver(in.out, out)
 }
 
@@ -334,6 +367,7 @@ func (in *Injector) Flush() {
 		e := *in.held
 		in.held = nil
 		in.outBuf = in.emit(e, in.outBuf[:0])
+		in.publish()
 		trace.Deliver(in.out, in.outBuf)
 	}
 }

@@ -2,6 +2,117 @@ package mitigate
 
 import "testing"
 
+// TestConstructorValidation sweeps every constructor's parameter
+// validation: bad configurations must panic at construction (they are
+// code bugs, not runtime input), and the boundary-legal ones must not.
+func TestConstructorValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		construct func()
+		wantPanic bool
+	}{
+		{"limiter/ok", func() { NewBusLockLimiter(8, 1000, 2, 50_000) }, false},
+		{"limiter/zero-allowance-ok", func() { NewBusLockLimiter(1, 1, 0, 0) }, false},
+		{"limiter/zero-contexts", func() { NewBusLockLimiter(0, 1000, 2, 1) }, true},
+		{"limiter/negative-contexts", func() { NewBusLockLimiter(-1, 1000, 2, 1) }, true},
+		{"limiter/zero-window", func() { NewBusLockLimiter(8, 0, 2, 1) }, true},
+		{"limiter/negative-allowance", func() { NewBusLockLimiter(8, 1000, -1, 1) }, true},
+		{"partition/ok", func() { NewCachePartition(4, []int{0, 0, 1, 1}) }, false},
+		{"partition/default-groups-ok", func() { NewCachePartition(8, nil) }, false},
+		{"partition/negative-group", func() { NewCachePartition(2, []int{0, -1}) }, true},
+		{"tdm/ok", func() { NewDividerTDM(1000) }, false},
+		{"tdm/zero-epoch", func() { NewDividerTDM(0) }, true},
+		{"fuzz/zero-quantum-ok", func() { NewClockFuzz(0, 0, 1) }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if got := recover() != nil; got != tc.wantPanic {
+					t.Errorf("panic = %v, want %v", got, tc.wantPanic)
+				}
+			}()
+			tc.construct()
+		})
+	}
+}
+
+// TestBusLockLimiterSequences drives the limiter through lock
+// sequences and checks every charged penalty.
+func TestBusLockLimiterSequences(t *testing.T) {
+	type lock struct {
+		now  uint64
+		ctx  uint8
+		want uint64
+	}
+	cases := []struct {
+		name     string
+		window   uint64
+		maxLocks int
+		penalty  uint64
+		locks    []lock
+	}{
+		{"within-allowance", 1000, 2, 50_000, []lock{
+			{10, 0, 0}, {20, 0, 0},
+		}},
+		{"over-allowance", 1000, 2, 50_000, []lock{
+			{10, 0, 0}, {20, 0, 0}, {30, 0, 50_000}, {40, 0, 50_000},
+		}},
+		{"window-reset", 1000, 1, 9_999, []lock{
+			{10, 0, 0}, {20, 0, 9_999}, {1500, 0, 0},
+		}},
+		{"contexts-independent", 1000, 1, 7, []lock{
+			{10, 0, 0}, {20, 0, 7}, {30, 1, 0}, {40, 1, 7},
+		}},
+		{"zero-allowance-always-charges", 1000, 0, 5, []lock{
+			{10, 0, 5}, {1500, 0, 5},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewBusLockLimiter(4, tc.window, tc.maxLocks, tc.penalty)
+			for i, lk := range tc.locks {
+				if got := l.Penalty(lk.now, lk.ctx); got != lk.want {
+					t.Errorf("lock %d (cycle %d, ctx %d): penalty = %d, want %d",
+						i, lk.now, lk.ctx, got, lk.want)
+				}
+			}
+		})
+	}
+}
+
+// TestDividerTDMTable covers the temporal partitioner's slot
+// arithmetic case by case.
+func TestDividerTDMTable(t *testing.T) {
+	cases := []struct {
+		name           string
+		epoch          uint64
+		now            uint64
+		thread         int
+		threadsPerCore int
+		need           uint64
+		want           uint64
+	}{
+		{"in-own-epoch", 1000, 500, 0, 2, 5, 500},
+		{"wait-for-epoch", 1000, 500, 1, 2, 5, 1000},
+		{"wrap-to-next-period", 1000, 1500, 0, 2, 5, 2000},
+		{"other-thread-in-epoch", 1000, 1500, 1, 2, 5, 1500},
+		{"spill-defers", 1000, 998, 0, 2, 5, 2000},
+		{"exact-fit-at-edge", 1000, 995, 0, 2, 5, 995},
+		{"oversized-from-epoch-start", 1000, 2000, 0, 2, 5000, 2000},
+		{"single-thread-unrestricted", 1000, 123, 0, 1, 5, 123},
+		{"four-threads-last-epoch", 1000, 0, 3, 4, 5, 3000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tdm := NewDividerTDM(tc.epoch)
+			if got := tdm.NextSlot(tc.now, tc.thread, tc.threadsPerCore, tc.need); got != tc.want {
+				t.Errorf("NextSlot(%d, %d, %d, %d) = %d, want %d",
+					tc.now, tc.thread, tc.threadsPerCore, tc.need, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestBusLockLimiterAllowance(t *testing.T) {
 	l := NewBusLockLimiter(8, 1000, 2, 50_000)
 	if l.Penalty(10, 0) != 0 || l.Penalty(20, 0) != 0 {

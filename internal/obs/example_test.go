@@ -1,0 +1,34 @@
+package obs_test
+
+import (
+	"fmt"
+
+	"cchunter/internal/obs"
+)
+
+// Example shows the wiring pattern every pipeline stage uses: resolve
+// instruments from a registry that may be nil (metrics off — all
+// operations become no-ops), record on the hot path, snapshot at the
+// end. Library users enable metrics by setting Scenario.Metrics to a
+// fresh registry and reading Result.Report.Metrics afterwards.
+func Example() {
+	reg := obs.NewRegistry() // pass nil instead to disable recording
+
+	events := reg.Counter("auditor.events")
+	density := reg.Histogram("auditor.density.bus", []float64{1, 4, 16, 64})
+	for _, burst := range []float64{2, 2, 70, 3} {
+		events.Inc()
+		density.Observe(burst)
+	}
+
+	span := reg.Timer("detect.analyze_ns").Start()
+	// ... run the analysis ...
+	span.End()
+
+	snap := reg.Snapshot()
+	fmt.Println("events:", snap.Counters["auditor.events"])
+	fmt.Println("density observations:", snap.Histograms["auditor.density.bus"].Count)
+	// Output:
+	// events: 4
+	// density observations: 4
+}

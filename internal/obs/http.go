@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry as pretty-printed JSON, in the spirit
+// of expvar: GET it while a run is in flight to watch per-stage
+// counters and latency histograms move. A nil registry serves "{}".
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		snap := r.Snapshot()
+		if snap == nil {
+			w.Write([]byte("{}\n"))
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// HistogramSnapshot is the frozen state of one histogram. Bounds and
+// Buckets are parallel; Buckets has one extra trailing entry for
+// observations above the last bound.
+type HistogramSnapshot struct {
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON:
+// the metrics endpoint serves it, ccrepro -metrics-out writes it, and
+// Report.Metrics embeds it. Maps marshal with sorted keys, so equal
+// registries produce byte-identical JSON.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values. Recording may
+// continue concurrently; each instrument is read atomically but the
+// snapshot as a whole is not a consistent cut. Nil registry → nil.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{
+				Bounds:  h.bounds,
+				Buckets: make([]uint64, len(h.buckets)),
+				Count:   h.Count(),
+				Sum:     h.Sum(),
+			}
+			for i := range h.buckets {
+				hs.Buckets[i] = h.buckets[i].Load()
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// StageTimes extracts every timer histogram whose name ends in "_ns"
+// as a stage → total-duration map, keyed by the name with the suffix
+// stripped. The runner uses this for per-job stage-time attribution.
+// Nil registry → nil.
+func (r *Registry) StageTimes() map[string]time.Duration {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out map[string]time.Duration
+	for name, h := range r.hists {
+		if !strings.HasSuffix(name, "_ns") {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]time.Duration)
+		}
+		out[strings.TrimSuffix(name, "_ns")] = time.Duration(h.Sum())
+	}
+	return out
+}
+
+// TopStages returns up to n stage names from times ordered by
+// descending duration — the attribution shown on progress lines.
+func TopStages(times map[string]time.Duration, n int) []string {
+	names := make([]string, 0, len(times))
+	for name := range times {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if times[names[i]] != times[names[j]] {
+			return times[names[i]] > times[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > n {
+		names = names[:n]
+	}
+	return names
+}

@@ -1,0 +1,53 @@
+package obs
+
+import "time"
+
+// Timer is a histogram of durations in nanoseconds. Use Start to open
+// a Span around a pipeline stage; ending the span observes its
+// elapsed time. A nil Timer is a no-op and — critically for the
+// disabled fast path — never calls time.Now.
+type Timer struct {
+	h *Histogram
+}
+
+// Timer returns the timer registered under name, creating it with
+// DefaultLatencyBounds on first use. Nil registry → nil timer.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	return &Timer{h: r.Histogram(name, DefaultLatencyBounds())}
+}
+
+// Span is an open timing measurement. The zero Span (from a nil
+// Timer) is inert: End on it does nothing.
+type Span struct {
+	t     *Timer
+	start time.Time
+}
+
+// Start opens a span. On a nil timer it returns the zero Span without
+// reading the clock.
+func (t *Timer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, start: time.Now()}
+}
+
+// End closes the span, recording the elapsed nanoseconds.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.h.Observe(float64(time.Since(s.start).Nanoseconds()))
+}
+
+// ObserveDuration records an already-measured duration, for callers
+// that time a stage themselves.
+func (t *Timer) ObserveDuration(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(float64(d.Nanoseconds()))
+}

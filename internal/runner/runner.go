@@ -40,6 +40,11 @@ type Job struct {
 	// example, to reproduce a documented paper configuration) may
 	// ignore it.
 	Run func(seed uint64) (interface{}, error)
+	// Stages, when set, is called once after Run returns to harvest
+	// per-stage time attribution (e.g. an obs.Registry's StageTimes).
+	// It runs on the job's worker, before the result is reported, so
+	// it may read state Run wrote without synchronization.
+	Stages func() map[string]time.Duration
 }
 
 // Result is one job's outcome, delivered in input order.
@@ -55,6 +60,9 @@ type Result struct {
 	// Worker is the index of the worker that ran the job (0-based).
 	// Informational only: results never depend on it.
 	Worker int
+	// Stages is the job's per-stage time attribution, nil unless the
+	// job provided a Stages hook. Informational only, like Elapsed.
+	Stages map[string]time.Duration
 }
 
 // Progress is a snapshot delivered to Pool.OnProgress after each job
@@ -162,13 +170,17 @@ func (p Pool) Run(rootSeed uint64, jobs []Job) ([]Result, error) {
 				job := jobs[i]
 				t0 := time.Now()
 				v, err := job.Run(DeriveSeed(rootSeed, job.Name))
-				complete(i, Result{
+				r := Result{
 					Name:    job.Name,
 					Value:   v,
 					Err:     err,
 					Elapsed: time.Since(t0),
 					Worker:  worker,
-				})
+				}
+				if job.Stages != nil {
+					r.Stages = job.Stages()
+				}
+				complete(i, r)
 			}
 		}(w)
 	}

@@ -18,6 +18,7 @@ import (
 	"cchunter/internal/divider"
 	"cchunter/internal/faults"
 	"cchunter/internal/mitigate"
+	"cchunter/internal/obs"
 )
 
 // TrackerKind selects the conflict-miss tracker attached to each
@@ -83,6 +84,14 @@ type Config struct {
 	// zero value leaves the path pristine and the simulation bit-for-bit
 	// identical to a build without the injector.
 	Faults faults.Config
+	// Metrics, when non-nil, receives pipeline observability data:
+	// operation and scheduling counters from the engine, batch and
+	// fault-injection counters from the delivery chain. Metrics are
+	// observational only — nothing in the simulation reads them back,
+	// so results are byte-identical with or without a registry (the
+	// golden-verdict suite pins this). Nil (the default) selects the
+	// no-op fast path.
+	Metrics *obs.Registry
 	// EventBatch sets the event-delivery batch size between the
 	// hardware units and the fault-injector/listener chain. 0 selects
 	// trace.DefaultBatchSize; 1 disables batching and delivers each

@@ -16,6 +16,8 @@ func (s *System) Run(until uint64) {
 		panic("sim: Run after Close")
 	}
 	s.started = true
+	span := s.mRunNS.Start() // zero Span when metrics are off: no clock read
+	defer span.End()
 	defer s.quiesce()
 	for {
 		c := s.pickContext()
@@ -78,6 +80,7 @@ func (s *System) quiesce() {
 	if s.injector != nil {
 		s.injector.Flush()
 	}
+	s.publishMetrics()
 }
 
 // pickContext returns the non-idle context with the smallest clock.
@@ -125,6 +128,7 @@ func (s *System) quantumBoundary(c *hwContext) {
 	for c.quantumEnd <= c.clock {
 		c.quantumEnd += s.cfg.QuantumCycles
 	}
+	s.publishMetrics()
 	if len(c.runq) == 0 {
 		return
 	}
@@ -164,6 +168,7 @@ func (s *System) quantumBoundary(c *hwContext) {
 // are stamped at the issue cycle, which equals the global minimum
 // clock, keeping the event stream time-ordered.
 func (s *System) execute(c *hwContext, p *Process, req request) {
+	s.opCount++ // published at quantum boundaries; see publishMetrics
 	t0 := c.clock
 	var latency uint64
 	switch req.kind {

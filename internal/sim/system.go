@@ -9,6 +9,7 @@ import (
 	"cchunter/internal/conflict"
 	"cchunter/internal/divider"
 	"cchunter/internal/faults"
+	"cchunter/internal/obs"
 	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
@@ -83,6 +84,16 @@ type System struct {
 
 	migrations uint64
 	switches   uint64
+
+	// Observability: opCount accumulates executed operations between
+	// publishes (a plain add per op — cheaper than checking whether
+	// metrics are enabled); the instruments are nil when cfg.Metrics is
+	// nil, making every publish a no-op.
+	opCount     uint64
+	mOps        *obs.Counter
+	mSwitches   *obs.Gauge
+	mMigrations *obs.Gauge
+	mRunNS      *obs.Timer
 }
 
 // New builds a system from cfg, rejecting inconsistent machine
@@ -105,17 +116,23 @@ func New(cfg Config) (*System, error) {
 			ErrBadConfig, cfg.EventBatch)
 	}
 	s := &System{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+	s.mOps = cfg.Metrics.Counter("sim.ops")
+	s.mSwitches = cfg.Metrics.Gauge("sim.ctx_switches")
+	s.mMigrations = cfg.Metrics.Gauge("sim.migrations")
+	s.mRunNS = cfg.Metrics.Timer("sim.run_ns")
 	s.emit = &s.listeners
 	if !cfg.Faults.IsZero() {
 		inj, err := faults.NewInjector(cfg.Faults, &s.listeners)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
+		inj.Instrument(cfg.Metrics)
 		s.injector = inj
 		s.emit = inj
 	}
 	if cfg.EventBatch != 1 {
 		s.batcher = trace.NewBatcher(s.emit, cfg.EventBatch)
+		s.batcher.Instrument(cfg.Metrics)
 		s.emit = s.batcher
 	}
 	s.bus = bus.New(cfg.Bus, s.emit)
@@ -164,6 +181,20 @@ func MustNew(cfg Config) *System {
 		panic(err)
 	}
 	return s
+}
+
+// publishMetrics flushes the accumulated operation count and the
+// scheduling counters into the registry. Called at quantum boundaries
+// and at quiesce, so a live metrics endpoint tracks the run at OS-tick
+// granularity without per-operation atomic traffic.
+func (s *System) publishMetrics() {
+	if s.mOps == nil {
+		return
+	}
+	s.mOps.Add(s.opCount)
+	s.opCount = 0
+	s.mSwitches.Set(int64(s.switches))
+	s.mMigrations.Set(int64(s.migrations))
 }
 
 // FaultStats returns the sensor fault injector's counters and whether

@@ -99,6 +99,17 @@ type Workspace struct {
 	twN        int       // transform size the table is built for
 	centered   []float64 // mean-centered copy of the input
 	acf        []float64 // output buffer, returned to the caller
+
+	// Path-selection tallies, read via PathCounts. Plain (non-atomic)
+	// because a Workspace is single-goroutine by contract.
+	fftCalls, naiveCalls uint64
+}
+
+// PathCounts reports how many Autocorrelogram calls took the FFT path
+// versus the naive sum — the observability layer publishes these so a
+// run can show which side of the crossover its trains landed on.
+func (w *Workspace) PathCounts() (fft, naive uint64) {
+	return w.fftCalls, w.naiveCalls
 }
 
 // NewWorkspace returns an empty workspace. Equivalent to new(Workspace);
@@ -165,8 +176,10 @@ func (w *Workspace) Autocorrelogram(xs []float64, maxLag int) []float64 {
 		return out
 	}
 	if useFFT(n, maxLag) {
+		w.fftCalls++
 		w.fftAutocorr(w.centered, den, out)
 	} else {
+		w.naiveCalls++
 		naiveAutocorr(w.centered, den, out)
 	}
 	return out

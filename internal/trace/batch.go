@@ -11,6 +11,8 @@ package trace
 // order, so verdicts are byte-identical at every batch size (the
 // regression tests in the root package pin this).
 
+import "cchunter/internal/obs"
+
 // DefaultBatchSize is the event batch used when a caller does not pick
 // one: big enough to amortize dispatch, small enough (~12 KB) to stay
 // cache-resident.
@@ -47,6 +49,9 @@ func Deliver(l Listener, events []Event) {
 type Batcher struct {
 	out Listener
 	buf []Event
+
+	mEvents  *obs.Counter // events delivered downstream
+	mFlushes *obs.Counter // batches handed off
 }
 
 // NewBatcher returns a batcher delivering to out in batches of the
@@ -74,11 +79,21 @@ func (b *Batcher) OnEvents(events []Event) {
 	}
 }
 
+// Instrument points the batcher at a metrics registry: every flush
+// records the batch count and size. A nil registry disables recording
+// (the counters stay nil, and nil counters are no-ops).
+func (b *Batcher) Instrument(reg *obs.Registry) {
+	b.mEvents = reg.Counter("trace.batch.events")
+	b.mFlushes = reg.Counter("trace.batch.flushes")
+}
+
 // Flush delivers any buffered events downstream and resets the arena.
 func (b *Batcher) Flush() {
 	if len(b.buf) == 0 {
 		return
 	}
+	b.mEvents.Add(uint64(len(b.buf)))
+	b.mFlushes.Inc()
 	Deliver(b.out, b.buf)
 	b.buf = b.buf[:0]
 }

@@ -76,6 +76,13 @@ type Scenario struct {
 	// internal/faults). The zero value leaves the run bit-for-bit
 	// identical to one without the injector.
 	Faults FaultConfig
+	// Metrics, when non-nil, instruments the whole pipeline — engine,
+	// event delivery, fault injector, auditor, detectors — and attaches
+	// a snapshot to Result.Report.Metrics. Metrics never influence any
+	// verdict: runs are byte-identical with and without a registry (the
+	// golden-verdict suite pins this). Nil disables recording at
+	// near-zero cost.
+	Metrics *MetricsRegistry
 	// Seed drives every random choice in the scenario.
 	Seed uint64
 	// RecordRaw additionally captures the full undeduplicated event
@@ -205,6 +212,7 @@ func (sc Scenario) Run() (*Result, error) {
 	}
 	simCfg.Faults = faults.Config(sc.Faults)
 	simCfg.EventBatch = sc.eventBatch
+	simCfg.Metrics = sc.Metrics
 	system, err := sim.New(simCfg)
 	if err != nil {
 		return nil, fmt.Errorf("cchunter: building machine: %w", err)
@@ -224,6 +232,7 @@ func (sc Scenario) Run() (*Result, error) {
 	if err := aud.MonitorConflicts(); err != nil {
 		return nil, fmt.Errorf("cchunter: monitoring conflicts: %w", err)
 	}
+	aud.Instrument(sc.Metrics)
 	system.AddListener(aud)
 	var raw *trace.Recorder
 	if cfg.RecordRaw {
@@ -269,10 +278,13 @@ func (sc Scenario) Run() (*Result, error) {
 	}
 
 	end := uint64(cfg.DurationQuanta) * cfg.QuantumCycles
+	simSpan := sc.Metrics.Timer("scenario.sim_ns").Start()
 	system.Run(end)
+	simSpan.End()
 
 	detCfg := core.DefaultDetectorConfig(cfg.QuantumCycles, simCfg.Contexts())
 	detCfg.ObservationDivisor = cfg.ObservationDivisor
+	detCfg.Metrics = sc.Metrics
 	if fs, ok := system.FaultStats(); ok {
 		// The injector self-reports its drops; fold them into every
 		// verdict's degradation diagnostics.
@@ -291,7 +303,14 @@ func (sc Scenario) Run() (*Result, error) {
 			detCfg.Burst.WindowQuanta = o.WindowQuanta
 		}
 	}
+	anSpan := sc.Metrics.Timer("scenario.analyze_ns").Start()
 	res.Report = core.NewDetector(aud, detCfg).Analyze(end)
+	anSpan.End()
+	if sc.Metrics != nil {
+		// Re-snapshot after the analyze span closed so the attached
+		// metrics include the full stage-time picture.
+		res.Report.Metrics = sc.Metrics.Snapshot()
+	}
 
 	spyDone(res)
 	res.BitErrors = repeatedBitErrors(res.Sent, res.Decoded)

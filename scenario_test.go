@@ -316,6 +316,36 @@ func TestMitigationNeutralizesBusChannel(t *testing.T) {
 	}
 }
 
+func TestMitigationFlipsDividerVerdict(t *testing.T) {
+	// The strongest end-to-end claim a mitigation can make: the same
+	// channel configuration that trips the detector runs clean under
+	// the defense. TDM makes cross-context divider contention
+	// impossible, so the verdict itself must flip, not just degrade.
+	msg := RandomMessage(12, 5)
+	base := Scenario{
+		Channel:       ChannelIntegerDivider,
+		BandwidthBPS:  1000,
+		Message:       msg,
+		QuantumCycles: testQuantum,
+	}
+	unmitigated, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unmitigated.Report.Detected {
+		t.Fatalf("baseline divider channel not detected:\n%s", unmitigated.Report)
+	}
+	defended := base
+	defended.Mitigation = "tdm"
+	mitigated, err := defended.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mitigated.Report.Detected {
+		t.Errorf("verdict did not flip under tdm:\n%s", mitigated.Report)
+	}
+}
+
 func TestEvasionNoiseRaisesErrors(t *testing.T) {
 	msg := RandomMessage(16, 5)
 	res, err := Scenario{

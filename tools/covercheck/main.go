@@ -1,0 +1,134 @@
+// Command covercheck gates statement coverage against a committed
+// floor. It parses a `go test -coverprofile` file directly (summing
+// covered and total statements, merging duplicate blocks by max
+// count, exactly like `go tool cover -func`'s total) and exits
+// non-zero when coverage falls below the baseline percentage stored
+// in tools/coverage_baseline.txt.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./tools/covercheck -profile cover.out -baseline tools/coverage_baseline.txt
+//
+// Raise the baseline deliberately after adding tests; never lower it
+// to make CI pass — a drop means the change shipped untested code.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	profilePath := flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+	baselinePath := flag.String("baseline", "tools/coverage_baseline.txt", "file holding the minimum coverage percentage")
+	flag.Parse()
+
+	got, err := profileCoverage(*profilePath)
+	if err != nil {
+		fatal(err)
+	}
+	want, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("statement coverage: %.1f%% (baseline %.1f%%)\n", got, want)
+	if got < want {
+		fatal(fmt.Errorf("coverage %.1f%% fell below the %.1f%% baseline in %s", got, want, *baselinePath))
+	}
+}
+
+// profileCoverage computes total statement coverage from a profile.
+// Each line after the mode header reads
+//
+//	file.go:startLine.startCol,endLine.endCol numStatements hitCount
+//
+// The same block can appear more than once (e.g. merged profiles);
+// duplicates are folded by taking the maximum hit count.
+func profileCoverage(path string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	type block struct {
+		stmts int
+		count int
+	}
+	blocks := map[string]block{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			if strings.HasPrefix(line, "mode:") {
+				continue
+			}
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return 0, fmt.Errorf("%s: malformed profile line %q", path, line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0, fmt.Errorf("%s: bad statement count in %q", path, line)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return 0, fmt.Errorf("%s: bad hit count in %q", path, line)
+		}
+		if b, ok := blocks[fields[0]]; !ok || count > b.count {
+			blocks[fields[0]] = block{stmts: stmts, count: count}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	var total, covered int
+	for _, b := range blocks {
+		total += b.stmts
+		if b.count > 0 {
+			covered += b.stmts
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("%s: no statements in profile", path)
+	}
+	return 100 * float64(covered) / float64(total), nil
+}
+
+// readBaseline reads the floor percentage; the file holds one number
+// (comment lines starting with # are allowed).
+func readBaseline(path string) (float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: bad baseline %q", path, line)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("%s: no baseline value found", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covercheck:", err)
+	os.Exit(1)
+}
