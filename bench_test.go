@@ -291,7 +291,8 @@ func BenchmarkConflictTrackerAblation(b *testing.B) {
 }
 
 // BenchmarkTrackerMicro compares the trackers' per-access cost on a
-// random access stream.
+// random access stream. The access→tracker path is the simulator's
+// innermost loop; allocs/op must read 0 for both trackers.
 func BenchmarkTrackerMicro(b *testing.B) {
 	c := cache.MustNew(cache.Config{SizeBytes: 1 << 20, LineBytes: 64, Ways: 8, HitLatency: 12})
 	trackers := map[string]conflict.Tracker{
@@ -300,6 +301,7 @@ func BenchmarkTrackerMicro(b *testing.B) {
 	}
 	for name, tr := range trackers {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			rng := stats.NewRNG(7)
 			tr.Reset()
 			for i := 0; i < b.N; i++ {
@@ -309,6 +311,43 @@ func BenchmarkTrackerMicro(b *testing.B) {
 					LineAddr: r.LineAddr, Set: r.Set, Hit: r.Hit,
 					Evicted: r.Evicted, EvictedLine: r.EvictedLine, EvictedOwner: r.EvictedOwner,
 				})
+			}
+		})
+	}
+}
+
+// BenchmarkConflictTracker pits the flat, slab-allocated trackers
+// against the retained map-based reference build of the ideal LRU
+// stack on identical pre-generated observation streams (no cache in
+// the loop, so the numbers isolate tracker cost). The flat trackers
+// must report 0 allocs/op; the reference shows what the rewrite
+// removed.
+func BenchmarkConflictTracker(b *testing.B) {
+	const capacity = 1 << 12
+	stream := make([]conflict.Observation, 1<<16)
+	rng := stats.NewRNG(11)
+	for i := range stream {
+		o := conflict.Observation{
+			LineAddr: uint64(rng.Intn(4 * capacity)),
+			Hit:      rng.Intn(3) == 0,
+		}
+		if !o.Hit && rng.Intn(2) == 0 {
+			o.Evicted = true
+			o.EvictedLine = uint64(rng.Intn(4 * capacity))
+		}
+		stream[i] = o
+	}
+	trackers := map[string]conflict.Tracker{
+		"ideal-flat":          conflict.MustNewIdeal(capacity),
+		"ideal-map-reference": conflict.MustNewIdealReference(capacity),
+		"generational-flat":   conflict.MustNewGenerational(conflict.GenerationalConfig{TotalBlocks: capacity}),
+	}
+	for name, tr := range trackers {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			tr.Reset()
+			for i := 0; i < b.N; i++ {
+				tr.Observe(stream[i&(len(stream)-1)])
 			}
 		})
 	}
@@ -480,7 +519,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 // registry absent (the default nil fast path every uninstrumented run
 // takes — each hot-path hook is one nil check) and attached. The
 // disabled sub-benchmark is the shipping configuration: CI's benchmark
-// trajectory gate (ccrepro -bench-out vs tools/bench_baseline.json)
+// trajectory gate (ccrepro -bench-out vs BENCH_baseline.json)
 // pins its cost, and the two sub-benchmarks let a local run quantify
 // the enabled-path premium directly.
 func BenchmarkMetricsOverhead(b *testing.B) {

@@ -7,7 +7,7 @@
 //	       [-sets 512] [-workloads gobmk,sjeng] [-quanta 0]
 //	       [-quantum 250000000] [-divisor 1] [-ideal] [-seed 1]
 //	       [-faults drop=0.05,jitter=200] [-v] [-metrics-addr :8080]
-//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	       [-no-pool] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Examples:
 //
@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"cchunter"
+	"cchunter/internal/pool"
 )
 
 func main() {
@@ -48,9 +49,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	metricsAddr := flag.String("metrics-addr", "", "serve live pipeline metrics as JSON on this address (e.g. :8080) for the duration of the run")
 	verbose := flag.Bool("v", false, "print histograms and per-window detail")
+	noPool := flag.Bool("no-pool", false, "disable analysis buffer pooling (debugging aid; output is identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	pool.SetEnabled(!*noPool)
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(cchunter.WorkloadNames(), ", "))

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	ccrepro [-fig all|2,3,6,8,...] [-out out/] [-scale 100] [-seed 1]
-//	        [-messages 32] [-quanta 64] [-j N] [-v]
+//	        [-messages 32] [-quanta 64] [-j N] [-v] [-no-pool]
 //	        [-bench-out bench.json] [-metrics-out metrics.json]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -35,6 +35,7 @@ import (
 	"cchunter"
 	"cchunter/internal/experiments"
 	"cchunter/internal/obs"
+	"cchunter/internal/pool"
 	"cchunter/internal/runner"
 	"cchunter/internal/trace"
 )
@@ -57,9 +58,12 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-figure timing after the run")
 	benchOut := flag.String("bench-out", "", "write a benchmark-trajectory JSON report (ns, allocs, detection metrics per figure) to this file; forces -j 1 for per-figure attribution")
 	metricsOut := flag.String("metrics-out", "", "instrument each figure with a pipeline metrics registry and write the per-figure snapshots as JSON to this file")
+	noPool := flag.Bool("no-pool", false, "disable analysis buffer pooling (debugging aid; output is identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	pool.SetEnabled(!*noPool)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

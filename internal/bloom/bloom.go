@@ -74,6 +74,37 @@ func (f *Filter) indexes(key uint64, out []uint64) []uint64 {
 	return out
 }
 
+// AppendProbes fills dst (reusing its capacity, discarding its
+// contents) with key's k bit positions and returns it. The positions
+// depend only on the filter's geometry (bit count and
+// hash count), so one probe set can be replayed against any filter of
+// identical geometry via ContainsAt/AddAt — the practical conflict
+// tracker hashes each incoming tag once and checks all four
+// generation filters with the same positions.
+func (f *Filter) AppendProbes(dst []uint64, key uint64) []uint64 {
+	return f.indexes(key, dst)
+}
+
+// ContainsAt is Contains for positions precomputed with AppendProbes
+// on a filter of the same geometry.
+func (f *Filter) ContainsAt(positions []uint64) bool {
+	for _, idx := range positions {
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AddAt is Add for positions precomputed with AppendProbes on a
+// filter of the same geometry.
+func (f *Filter) AddAt(positions []uint64) {
+	for _, idx := range positions {
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.added++
+}
+
 // Add inserts key into the filter.
 func (f *Filter) Add(key uint64) {
 	var buf [8]uint64

@@ -40,22 +40,32 @@ func DefaultL2() Config {
 }
 
 type line struct {
-	tag     uint64 // full line address (addr >> lineShift)
-	owner   uint8
-	valid   bool
-	lastUse uint64 // LRU sequence number
+	tag   uint64 // full line address (addr >> lineShift)
+	owner uint8
+	valid bool
 }
 
 // Cache is a single set-associative cache with true-LRU replacement.
 // It is not safe for concurrent use; the simulation engine serializes
 // all accesses in global time order.
+//
+// Recency is an intrusive doubly-linked list per set, threaded
+// through flat index arrays (way w of set s is node s*Ways+w): every
+// touch relinks the block at the head in O(1), and the eviction
+// victim is the first in-partition node from the tail — no per-access
+// timestamp scan and no per-access allocation.
 type Cache struct {
 	cfg       Config
 	nsets     int
 	lineShift uint
 	setMask   uint64
 	sets      [][]line
-	seq       uint64
+
+	// Per-set LRU lists over global node indexes; -1 terminates.
+	// lruHead[s] is set s's most recently used way, lruTail[s] its
+	// least recently used.
+	lruPrev, lruNext []int32
+	lruHead, lruTail []int32
 
 	hits, misses, evictions uint64
 }
@@ -89,13 +99,57 @@ func New(cfg Config) (*Cache, error) {
 	for i := range sets {
 		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:       cfg,
 		nsets:     nsets,
 		lineShift: shift,
 		setMask:   uint64(nsets - 1),
 		sets:      sets,
-	}, nil
+		lruPrev:   make([]int32, blocks),
+		lruNext:   make([]int32, blocks),
+		lruHead:   make([]int32, nsets),
+		lruTail:   make([]int32, nsets),
+	}
+	// Initial list order is way index order; it only matters once all
+	// in-partition ways are valid, by which time every way has been
+	// relinked by its install.
+	for s := 0; s < nsets; s++ {
+		base := int32(s * cfg.Ways)
+		for w := 0; w < cfg.Ways; w++ {
+			n := base + int32(w)
+			c.lruPrev[n] = n - 1
+			c.lruNext[n] = n + 1
+		}
+		c.lruPrev[base] = -1
+		c.lruNext[base+int32(cfg.Ways)-1] = -1
+		c.lruHead[s] = base
+		c.lruTail[s] = base + int32(cfg.Ways) - 1
+	}
+	return c, nil
+}
+
+// touch moves way w of set s to the head (MRU end) of the set's
+// recency list.
+func (c *Cache) touch(set uint64, w int) {
+	n := int32(int(set)*c.cfg.Ways + w)
+	if c.lruHead[set] == n {
+		return
+	}
+	p, nx := c.lruPrev[n], c.lruNext[n]
+	if p >= 0 {
+		c.lruNext[p] = nx
+	}
+	if nx >= 0 {
+		c.lruPrev[nx] = p
+	}
+	if c.lruTail[set] == n {
+		c.lruTail[set] = p
+	}
+	h := c.lruHead[set]
+	c.lruPrev[n] = -1
+	c.lruNext[n] = h
+	c.lruPrev[h] = n
+	c.lruHead[set] = n
 }
 
 // MustNew is New for geometries known to be valid (tests, hardcoded
@@ -146,19 +200,23 @@ func (c *Cache) AccessInWays(addr uint64, ctx uint8, lo, hi int) Result {
 	lineAddr := addr >> c.lineShift
 	set := lineAddr & c.setMask
 	ways := c.sets[set]
-	c.seq++
 	res := Result{Set: uint32(set), LineAddr: lineAddr}
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == lineAddr {
-			ways[i].lastUse = c.seq
 			ways[i].owner = ctx
+			c.touch(set, i)
 			res.Hit = true
 			c.hits++
 			return res
 		}
 	}
 	c.misses++
-	// Miss: find an invalid way in range, else the LRU way in range.
+	// Miss: find an invalid way in range, else the LRU way in range —
+	// the first in-partition node walking the recency list from the
+	// tail. Every in-partition way is valid on that walk (the invalid
+	// scan just failed), and relative list order of valid ways is
+	// exactly last-touch order, so the walk lands on the same victim
+	// the timestamp scan used to find.
 	victim := -1
 	for i := lo; i < hi; i++ {
 		if !ways[i].valid {
@@ -167,10 +225,11 @@ func (c *Cache) AccessInWays(addr uint64, ctx uint8, lo, hi int) Result {
 		}
 	}
 	if victim < 0 {
-		victim = lo
-		for i := lo + 1; i < hi; i++ {
-			if ways[i].lastUse < ways[victim].lastUse {
-				victim = i
+		setBase := int(set) * c.cfg.Ways
+		for n := c.lruTail[set]; n >= 0; n = c.lruPrev[n] {
+			if w := int(n) - setBase; w >= lo && w < hi {
+				victim = w
+				break
 			}
 		}
 		res.Evicted = true
@@ -178,7 +237,8 @@ func (c *Cache) AccessInWays(addr uint64, ctx uint8, lo, hi int) Result {
 		res.EvictedOwner = ways[victim].owner
 		c.evictions++
 	}
-	ways[victim] = line{tag: lineAddr, owner: ctx, valid: true, lastUse: c.seq}
+	ways[victim] = line{tag: lineAddr, owner: ctx, valid: true}
+	c.touch(set, victim)
 	return res
 }
 

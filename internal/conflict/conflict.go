@@ -15,6 +15,15 @@
 //
 // Both are implemented here so the ablation benchmarks can compare
 // them.
+//
+// Observe sits on the simulator's per-access hot path, so both
+// trackers use flat, index-addressed storage: all state lives in
+// slices sized at construction, the LRU stack is an intrusive
+// doubly-linked list over slab indexes, and lookups go through an
+// open-addressing hash index with linear probing and backward-shift
+// deletion. After construction, Observe performs no allocations.
+// See DESIGN.md §12 for the layout and the equivalence argument
+// against the map-based build (kept as IdealReference).
 package conflict
 
 import (
@@ -58,24 +67,58 @@ type Tracker interface {
 	Reset()
 }
 
+// mixLine is the splitmix64 finalizer, used to spread line addresses
+// over the open-addressing tables. Line addresses are highly regular
+// (consecutive sets, a handful of tags), so the raw value would
+// cluster badly.
+func mixLine(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// tablePow2 returns the smallest power of two >= 2*n, the
+// open-addressing table size that keeps load factor at or below one
+// half for n live entries.
+func tablePow2(n int) int {
+	size := 1
+	for size < 2*n {
+		size <<= 1
+	}
+	return size
+}
+
 // Ideal is the exact tracker: a fully-associative LRU stack of
 // capacity equal to the cache's block count. An access is a conflict
 // miss when it misses in the real cache but its line address is still
 // within the stack (i.e. among the N most recently used distinct
 // lines).
+//
+// The stack is an intrusive doubly-linked list threaded through a
+// slab of at most `capacity` entries; membership lookups go through a
+// flat open-addressing index. Slab slots are handed out sequentially
+// until the stack is full, after which every insertion reuses the
+// slot of the entry falling off the bottom, so Observe never
+// allocates.
 type Ideal struct {
 	capacity int
-	nodes    map[uint64]*node
-	head     *node // most recently used
-	tail     *node // least recently used
-	size     int
+
+	// Slab: entry i is (lines[i], prev[i], next[i]). prev/next are
+	// slab indexes; -1 terminates the list.
+	lines []uint64
+	prev  []int32
+	next  []int32
+
+	// Open-addressing index over the slab: table[h] holds a slab
+	// index or -1. Linear probing; deletion backward-shifts the
+	// cluster, so there are no tombstones.
+	table []int32
+	mask  uint64
+
+	head, tail int32 // most / least recently used; -1 when empty
+	size       int
 
 	conflicts uint64
-}
-
-type node struct {
-	line       uint64
-	prev, next *node
 }
 
 // NewIdeal returns an ideal tracker for a cache with capacity blocks.
@@ -83,7 +126,20 @@ func NewIdeal(capacity int) (*Ideal, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("%w: stack capacity %d must be positive", ErrBadConfig, capacity)
 	}
-	return &Ideal{capacity: capacity, nodes: make(map[uint64]*node, capacity)}, nil
+	t := &Ideal{
+		capacity: capacity,
+		lines:    make([]uint64, capacity),
+		prev:     make([]int32, capacity),
+		next:     make([]int32, capacity),
+		table:    make([]int32, tablePow2(capacity)),
+		head:     -1,
+		tail:     -1,
+	}
+	t.mask = uint64(len(t.table) - 1)
+	for i := range t.table {
+		t.table[i] = -1
+	}
+	return t, nil
 }
 
 // MustNewIdeal is NewIdeal for capacities known to be valid; it panics
@@ -101,20 +157,38 @@ func (t *Ideal) Name() string { return "ideal-lru-stack" }
 
 // Reset implements Tracker.
 func (t *Ideal) Reset() {
-	t.nodes = make(map[uint64]*node, t.capacity)
-	t.head, t.tail, t.size = nil, nil, 0
+	for i := range t.table {
+		t.table[i] = -1
+	}
+	t.head, t.tail, t.size = -1, -1, 0
 	t.conflicts = 0
+}
+
+// lookup returns the slab index of line, or -1 when it is not in the
+// stack.
+func (t *Ideal) lookup(line uint64) int32 {
+	h := mixLine(line) & t.mask
+	for {
+		idx := t.table[h]
+		if idx < 0 {
+			return -1
+		}
+		if t.lines[idx] == line {
+			return idx
+		}
+		h = (h + 1) & t.mask
+	}
 }
 
 // Observe implements Tracker.
 func (t *Ideal) Observe(o Observation) bool {
-	n, inStack := t.nodes[o.LineAddr]
-	conflict := !o.Hit && inStack
+	slot := t.lookup(o.LineAddr)
+	conflict := !o.Hit && slot >= 0
 	if conflict {
 		t.conflicts++
 	}
-	if inStack {
-		t.moveToFront(n)
+	if slot >= 0 {
+		t.moveToFront(slot)
 	} else {
 		t.insertFront(o.LineAddr)
 	}
@@ -124,50 +198,94 @@ func (t *Ideal) Observe(o Observation) bool {
 // Conflicts returns the number of conflict misses detected.
 func (t *Ideal) Conflicts() uint64 { return t.conflicts }
 
+// insertFront pushes a new line onto the top of the stack. At
+// capacity, the LRU entry falls off the bottom first and its slab
+// slot is reused for the new line.
 func (t *Ideal) insertFront(line uint64) {
-	n := &node{line: line, next: t.head}
-	if t.head != nil {
-		t.head.prev = n
-	}
-	t.head = n
-	if t.tail == nil {
-		t.tail = n
-	}
-	t.nodes[line] = n
-	t.size++
-	if t.size > t.capacity {
-		// Drop the LRU entry: it falls off the bottom of the stack.
-		old := t.tail
-		t.tail = old.prev
-		if t.tail != nil {
-			t.tail.next = nil
+	var slot int32
+	if t.size == t.capacity {
+		slot = t.tail
+		t.tableDelete(t.lines[slot])
+		t.tail = t.prev[slot]
+		if t.tail >= 0 {
+			t.next[t.tail] = -1
 		} else {
-			t.head = nil
+			t.head = -1
 		}
-		delete(t.nodes, old.line)
-		t.size--
+	} else {
+		slot = int32(t.size)
+		t.size++
 	}
+	t.lines[slot] = line
+	t.prev[slot] = -1
+	t.next[slot] = t.head
+	if t.head >= 0 {
+		t.prev[t.head] = slot
+	}
+	t.head = slot
+	if t.tail < 0 {
+		t.tail = slot
+	}
+	t.tableInsert(line, slot)
 }
 
-func (t *Ideal) moveToFront(n *node) {
-	if t.head == n {
+// moveToFront relinks an existing entry at the top of the stack.
+func (t *Ideal) moveToFront(slot int32) {
+	if t.head == slot {
 		return
 	}
-	// Unlink.
-	if n.prev != nil {
-		n.prev.next = n.next
+	p, n := t.prev[slot], t.next[slot]
+	if p >= 0 {
+		t.next[p] = n
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n >= 0 {
+		t.prev[n] = p
 	}
-	if t.tail == n {
-		t.tail = n.prev
+	if t.tail == slot {
+		t.tail = p
 	}
-	// Relink at head.
-	n.prev = nil
-	n.next = t.head
-	t.head.prev = n
-	t.head = n
+	t.prev[slot] = -1
+	t.next[slot] = t.head
+	t.prev[t.head] = slot
+	t.head = slot
+}
+
+// tableInsert records line -> slot in the open-addressing index.
+func (t *Ideal) tableInsert(line uint64, slot int32) {
+	h := mixLine(line) & t.mask
+	for t.table[h] >= 0 {
+		h = (h + 1) & t.mask
+	}
+	t.table[h] = slot
+}
+
+// tableDelete removes line from the index, backward-shifting the rest
+// of its probe cluster so later lookups never cross a stale hole.
+func (t *Ideal) tableDelete(line uint64) {
+	pos := mixLine(line) & t.mask
+	for {
+		idx := t.table[pos]
+		if idx >= 0 && t.lines[idx] == line {
+			break
+		}
+		pos = (pos + 1) & t.mask
+	}
+	// Walk the cluster after the hole; any entry displaced at least as
+	// far from its home slot as the hole can move back into it.
+	cur := pos
+	for {
+		cur = (cur + 1) & t.mask
+		idx := t.table[cur]
+		if idx < 0 {
+			break
+		}
+		home := mixLine(t.lines[idx]) & t.mask
+		if (cur-home)&t.mask >= (cur-pos)&t.mask {
+			t.table[pos] = idx
+			pos = cur
+		}
+	}
+	t.table[pos] = -1
 }
 
 // StackSize returns the current number of tracked lines (tests).

@@ -1,0 +1,213 @@
+package conflict
+
+import (
+	"testing"
+
+	"cchunter/internal/stats"
+)
+
+// flat_test.go pins the flat, index-addressed trackers against
+// map-based builds of the same algorithms, observation by
+// observation, on adversarial random streams. The streams do not
+// mirror any cache geometry on purpose: the trackers must be exact
+// for arbitrary Observation sequences, not just those a well-formed
+// cache produces.
+
+// randomStream builds an adversarial observation stream: a working
+// set far larger than any tracker table, hits on never-seen lines,
+// evictions of lines that may or may not be resident, and skewed
+// reuse so move-to-front and backward-shift deletion paths all fire.
+func randomStream(seed uint64, n, lines int) []Observation {
+	r := stats.NewRNG(seed)
+	out := make([]Observation, n)
+	for i := range out {
+		o := Observation{
+			LineAddr: uint64(r.Intn(lines)),
+			Hit:      r.Intn(3) == 0,
+		}
+		if !o.Hit && r.Intn(2) == 0 {
+			o.Evicted = true
+			o.EvictedLine = uint64(r.Intn(lines))
+		}
+		// Skew: revisit a small hot set often so stacks churn.
+		if r.Intn(4) == 0 {
+			o.LineAddr = uint64(r.Intn(8))
+		}
+		out[i] = o
+	}
+	return out
+}
+
+func TestIdealMatchesReference(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 8, 64, 257} {
+		flat := MustNewIdeal(capacity)
+		ref := MustNewIdealReference(capacity)
+		for i, o := range randomStream(uint64(capacity), 20000, 4*capacity+16) {
+			got, want := flat.Observe(o), ref.Observe(o)
+			if got != want {
+				t.Fatalf("capacity %d: observation %d: flat=%v reference=%v", capacity, i, got, want)
+			}
+			if flat.StackSize() != ref.StackSize() {
+				t.Fatalf("capacity %d: observation %d: stack size flat=%d reference=%d",
+					capacity, i, flat.StackSize(), ref.StackSize())
+			}
+		}
+		if flat.Conflicts() != ref.Conflicts() {
+			t.Errorf("capacity %d: conflicts flat=%d reference=%d", capacity, flat.Conflicts(), ref.Conflicts())
+		}
+	}
+}
+
+func TestIdealMatchesReferenceAfterReset(t *testing.T) {
+	flat, ref := MustNewIdeal(16), MustNewIdealReference(16)
+	for _, o := range randomStream(1, 2000, 64) {
+		flat.Observe(o)
+		ref.Observe(o)
+	}
+	flat.Reset()
+	ref.Reset()
+	for i, o := range randomStream(2, 2000, 64) {
+		if got, want := flat.Observe(o), ref.Observe(o); got != want {
+			t.Fatalf("post-reset observation %d: flat=%v reference=%v", i, got, want)
+		}
+	}
+}
+
+// generationalOracle replays the flat tracker's algorithm over a map
+// residency table (the pre-rewrite representation), sharing nothing
+// with the flat implementation but the Bloom filters' geometry.
+type generationalOracle struct {
+	g         *Generational
+	resident  map[uint64]uint8
+	current   int
+	accessed  int
+	conflicts uint64
+}
+
+func newGenerationalOracle(cfg GenerationalConfig) *generationalOracle {
+	return &generationalOracle{
+		g:        MustNewGenerational(cfg),
+		resident: map[uint64]uint8{},
+	}
+}
+
+func (o *generationalOracle) observe(ob Observation) bool {
+	g := o.g
+	conflict := false
+	if !ob.Hit {
+		for _, f := range g.filters {
+			if f.Contains(ob.LineAddr) {
+				conflict = true
+				o.conflicts++
+				break
+			}
+		}
+	}
+	if ob.Evicted {
+		if mask, ok := o.resident[ob.EvictedLine]; ok {
+			idx := o.latestGeneration(mask)
+			g.filters[idx].Add(ob.EvictedLine)
+			delete(o.resident, ob.EvictedLine)
+		}
+	}
+	bit := uint8(1) << uint(o.current)
+	mask := o.resident[ob.LineAddr]
+	if mask&bit == 0 {
+		o.resident[ob.LineAddr] = mask | bit
+		o.accessed++
+		if o.accessed >= g.threshold {
+			oldest := (o.current + 1) % numGenerations
+			g.filters[oldest].Clear()
+			keep := ^(uint8(1) << uint(oldest))
+			for line, m := range o.resident {
+				if nm := m & keep; nm != m {
+					if nm == 0 {
+						delete(o.resident, line)
+					} else {
+						o.resident[line] = nm
+					}
+				}
+			}
+			o.current = oldest
+			o.accessed = 0
+		}
+	}
+	return conflict
+}
+
+func (o *generationalOracle) latestGeneration(mask uint8) int {
+	for age := 0; age < numGenerations; age++ {
+		idx := (o.current - age + numGenerations) % numGenerations
+		if mask&(1<<uint(idx)) != 0 {
+			return idx
+		}
+	}
+	return o.current
+}
+
+func TestGenerationalMatchesMapOracle(t *testing.T) {
+	for _, blocks := range []int{1, 3, 8, 64, 512} {
+		cfg := GenerationalConfig{TotalBlocks: blocks, BloomBitsPerGen: 4096}
+		flat := MustNewGenerational(cfg)
+		oracle := newGenerationalOracle(cfg)
+		// The oracle's filters belong to its inner tracker; keep them in
+		// lockstep by feeding it the same stream.
+		for i, ob := range randomStream(uint64(blocks)+7, 20000, 4*blocks+32) {
+			got, want := flat.Observe(ob), oracle.observe(ob)
+			if got != want {
+				t.Fatalf("blocks %d: observation %d: flat=%v oracle=%v", blocks, i, got, want)
+			}
+		}
+		if flat.Conflicts() != oracle.conflicts {
+			t.Errorf("blocks %d: conflicts flat=%d oracle=%d", blocks, flat.Conflicts(), oracle.conflicts)
+		}
+	}
+}
+
+// TestGenerationalResidencyBound pins the sizing invariant the flat
+// table relies on: live residency entries never exceed 4×threshold,
+// even on adversarial streams detached from any cache geometry.
+func TestGenerationalResidencyBound(t *testing.T) {
+	for _, blocks := range []int{1, 8, 64} {
+		g := MustNewGenerational(GenerationalConfig{TotalBlocks: blocks})
+		bound := numGenerations * g.threshold
+		for i, ob := range randomStream(uint64(blocks)+99, 30000, 1000) {
+			g.Observe(ob)
+			live := 0
+			for _, m := range g.masks {
+				if m != 0 {
+					live++
+				}
+			}
+			if live > bound {
+				t.Fatalf("blocks %d: observation %d: %d live entries exceed bound %d", blocks, i, live, bound)
+			}
+		}
+	}
+}
+
+func TestIdealObserveDoesNotAllocate(t *testing.T) {
+	tr := MustNewIdeal(64)
+	stream := randomStream(3, 1024, 256)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Observe(stream[i%len(stream)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Ideal.Observe allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestGenerationalObserveDoesNotAllocate(t *testing.T) {
+	g := MustNewGenerational(GenerationalConfig{TotalBlocks: 64})
+	stream := randomStream(4, 1024, 256)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		g.Observe(stream[i%len(stream)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Generational.Observe allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -35,10 +35,32 @@ type Generational struct {
 	hashes      int
 
 	filters [numGenerations]*bloom.Filter
-	// resident maps a resident line address to its generation bit
-	// mask. In hardware these bits live in the cache block metadata;
-	// keeping them here keeps the cache model oblivious to tracking.
-	resident map[uint64]uint8
+	// probes is the scratch for the per-access Bloom probe positions.
+	// All four filters share one geometry, so an incoming tag is
+	// hashed once and the same positions are checked in each — the
+	// software analogue of the hardware design's shared hash trees.
+	probes []uint64
+
+	// Flat residency table, the software stand-in for the per-block
+	// generation-bit columns of the hardware design (where the bits
+	// live in the cache block metadata, i.e. one packed array keyed by
+	// (set, way)). The tracker interface never sees way placement and
+	// the tests feed it streams detached from any cache geometry, so
+	// the table is keyed by line address instead: open addressing with
+	// linear probing and backward-shift deletion over keys/masks.
+	// masks[i] == 0 marks an empty slot — a resident entry always has
+	// at least one generation bit set. Live entries are bounded by
+	// 4×threshold (each of the four live generations marks at most
+	// threshold blocks), so the table is sized once at construction
+	// and Observe never allocates.
+	keys  []uint64
+	masks []uint8
+	tmask uint64
+
+	// sweep buffers the lines to drop while advanceGeneration scans
+	// the table, so deletions do not shift entries under the scan.
+	sweep []uint64
+
 	current  int // index of the youngest generation
 	accessed int // blocks touched in the current generation
 
@@ -81,11 +103,16 @@ func NewGenerational(cfg GenerationalConfig) (*Generational, error) {
 		threshold:   cfg.TotalBlocks / numGenerations,
 		bitsPerGen:  cfg.BloomBitsPerGen,
 		hashes:      cfg.Hashes,
-		resident:    make(map[uint64]uint8, cfg.TotalBlocks),
+		probes:      make([]uint64, 0, cfg.Hashes),
 	}
 	if g.threshold < 1 {
 		g.threshold = 1
 	}
+	bound := numGenerations * g.threshold
+	g.keys = make([]uint64, tablePow2(bound))
+	g.masks = make([]uint8, len(g.keys))
+	g.tmask = uint64(len(g.keys) - 1)
+	g.sweep = make([]uint64, 0, bound)
 	for i := range g.filters {
 		// Parameters were validated above; a failure here is a bug.
 		g.filters[i] = bloom.MustNew(cfg.BloomBitsPerGen, cfg.Hashes)
@@ -111,11 +138,48 @@ func (g *Generational) Reset() {
 	for _, f := range g.filters {
 		f.Clear()
 	}
-	g.resident = make(map[uint64]uint8, g.totalBlocks)
+	for i := range g.masks {
+		g.masks[i] = 0
+	}
 	g.current = 0
 	g.accessed = 0
 	g.conflicts = 0
 	g.generations = 0
+}
+
+// find returns the table position of line and whether it is resident.
+// When absent, the returned position is the empty slot a subsequent
+// insert must use.
+func (g *Generational) find(line uint64) (pos uint64, found bool) {
+	pos = mixLine(line) & g.tmask
+	for {
+		if g.masks[pos] == 0 {
+			return pos, false
+		}
+		if g.keys[pos] == line {
+			return pos, true
+		}
+		pos = (pos + 1) & g.tmask
+	}
+}
+
+// remove deletes the entry at pos, backward-shifting its probe
+// cluster so later lookups never cross a stale hole.
+func (g *Generational) remove(pos uint64) {
+	cur := pos
+	for {
+		cur = (cur + 1) & g.tmask
+		if g.masks[cur] == 0 {
+			break
+		}
+		home := mixLine(g.keys[cur]) & g.tmask
+		if (cur-home)&g.tmask >= (cur-pos)&g.tmask {
+			g.keys[pos] = g.keys[cur]
+			g.masks[pos] = g.masks[cur]
+			pos = cur
+		}
+	}
+	g.masks[pos] = 0
 }
 
 // Observe implements Tracker.
@@ -125,9 +189,11 @@ func (g *Generational) Observe(o Observation) bool {
 		// Check whether the incoming tag was recently prematurely
 		// evicted: a hit in any generation's Bloom filter means the
 		// block was accessed in that generation but replaced to make
-		// room before the cache cycled through full capacity.
+		// room before the cache cycled through full capacity. The tag
+		// is hashed once; the filters share one geometry.
+		g.probes = g.filters[0].AppendProbes(g.probes, o.LineAddr)
 		for _, f := range g.filters {
-			if f.Contains(o.LineAddr) {
+			if f.ContainsAt(g.probes) {
 				conflict = true
 				g.conflicts++
 				break
@@ -137,17 +203,22 @@ func (g *Generational) Observe(o Observation) bool {
 	if o.Evicted {
 		// Record the displaced tag in the Bloom filter of the latest
 		// generation in which it was accessed.
-		if mask, ok := g.resident[o.EvictedLine]; ok {
-			g.filters[g.latestGeneration(mask)].Add(o.EvictedLine)
-			delete(g.resident, o.EvictedLine)
+		if pos, ok := g.find(o.EvictedLine); ok {
+			g.filters[g.latestGeneration(g.masks[pos])].Add(o.EvictedLine)
+			g.remove(pos)
 		}
 	}
 	// Mark the accessed block in the current generation (emulating
 	// placement at the top of the LRU stack).
 	bit := uint8(1) << uint(g.current)
-	mask := g.resident[o.LineAddr]
+	pos, found := g.find(o.LineAddr)
+	mask := uint8(0)
+	if found {
+		mask = g.masks[pos]
+	}
 	if mask&bit == 0 {
-		g.resident[o.LineAddr] = mask | bit
+		g.keys[pos] = o.LineAddr
+		g.masks[pos] = mask | bit
 		g.accessed++
 		if g.accessed >= g.threshold {
 			g.advanceGeneration()
@@ -173,20 +244,30 @@ func (g *Generational) latestGeneration(mask uint8) int {
 
 // advanceGeneration discards the oldest generation and makes its slot
 // the new youngest, flash-clearing its Bloom filter and its bit column
-// in the resident metadata.
+// in the resident metadata. Blocks only ever touched in the discarded
+// generation fall off the bottom of the stack; they are collected
+// during the column scan and removed afterwards, since removal shifts
+// table entries and must not run under the scan.
 func (g *Generational) advanceGeneration() {
 	oldest := (g.current + 1) % numGenerations
 	g.filters[oldest].Clear()
-	clear := ^(uint8(1) << uint(oldest))
-	for line, mask := range g.resident {
-		if nm := mask & clear; nm != mask {
+	keep := ^(uint8(1) << uint(oldest))
+	g.sweep = g.sweep[:0]
+	for i, m := range g.masks {
+		if m == 0 {
+			continue
+		}
+		if nm := m & keep; nm != m {
 			if nm == 0 {
-				// The block was only ever touched in the discarded
-				// generation; it falls off the bottom of the stack.
-				delete(g.resident, line)
+				g.sweep = append(g.sweep, g.keys[i])
 			} else {
-				g.resident[line] = nm
+				g.masks[i] = nm
 			}
+		}
+	}
+	for _, line := range g.sweep {
+		if pos, ok := g.find(line); ok {
+			g.remove(pos)
 		}
 	}
 	g.current = oldest

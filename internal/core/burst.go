@@ -2,6 +2,7 @@ package core
 
 import (
 	"cchunter/internal/auditor"
+	"cchunter/internal/pool"
 	"cchunter/internal/stats"
 )
 
@@ -189,11 +190,20 @@ func analyzeRecurrence(records []auditor.QuantumHistogram, threshold int, cfg Bu
 	if threshold < 1 {
 		threshold = 1
 	}
+	// The point matrix is pooled: each feature vector is borrowed for
+	// the duration of the clustering and returned on every exit path.
 	var burstFeatures [][]float64
+	defer func() {
+		for _, f := range burstFeatures {
+			pool.PutFloat64s(f)
+		}
+	}()
 	for _, r := range records {
 		if r.Hist.TotalFrom(threshold) > 0 {
 			burstQuanta++
-			burstFeatures = append(burstFeatures, DiscretizeHistogram(r.Hist, cfg.FeatureBins))
+			f := pool.Float64s(featureBands(r.Hist.NumBins(), cfg.FeatureBins))
+			discretizeInto(f, r.Hist)
+			burstFeatures = append(burstFeatures, f)
 		}
 	}
 	if burstQuanta < cfg.MinBurstQuanta {
@@ -232,18 +242,33 @@ func analyzeRecurrence(records []auditor.QuantumHistogram, threshold int, cfg Bu
 // maxFeatures caps the number of bands (0 means enough bands to cover
 // every bin).
 func DiscretizeHistogram(h *stats.Histogram, maxFeatures int) []float64 {
-	n := h.NumBins()
+	out := make([]float64, featureBands(h.NumBins(), maxFeatures))
+	discretizeInto(out, h)
+	return out
+}
+
+// featureBands returns the number of log₂ density bands a histogram of
+// numBins bins discretizes into, capped at maxFeatures (0 = no cap).
+func featureBands(numBins, maxFeatures int) int {
 	bands := 0
-	for 1<<bands < n {
+	for 1<<bands < numBins {
 		bands++
 	}
 	if maxFeatures > 0 && bands > maxFeatures {
 		bands = maxFeatures
 	}
-	out := make([]float64, bands)
+	return bands
+}
+
+// discretizeInto fills out (zeroed, length = featureBands(...)) with
+// the discretized string of h. The recurrence step calls it with
+// pooled vectors; DiscretizeHistogram with a fresh allocation.
+func discretizeInto(out []float64, h *stats.Histogram) {
+	n := h.NumBins()
+	bands := len(out)
 	total := float64(h.TotalFrom(1))
 	if total == 0 {
-		return out
+		return
 	}
 	for f := 0; f < bands; f++ {
 		lo := 1 << f
@@ -265,7 +290,6 @@ func DiscretizeHistogram(h *stats.Histogram, maxFeatures int) []float64 {
 			out[f] = level
 		}
 	}
-	return out
 }
 
 func log2(x float64) float64 { return ln(x) / ln2 }

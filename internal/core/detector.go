@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"cchunter/internal/auditor"
 	"cchunter/internal/obs"
+	"cchunter/internal/pool"
 	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
@@ -174,8 +176,18 @@ type Detector struct {
 	ws  *stats.Workspace
 }
 
+// wsPool recycles autocorrelation workspaces across detectors. The
+// FFT scratch, twiddle table, and centered-copy buffers dominate a
+// detector's footprint; on the experiment runner, where every scenario
+// job builds a fresh Detector, reuse means the steady state allocates
+// no analysis scratch at all. A recycled workspace is handed over with
+// its tallies reset and its buffers re-grown on first use, so results
+// are identical to a fresh one.
+var wsPool = sync.Pool{New: func() any { return stats.NewWorkspace() }}
+
 // NewDetector wraps an auditor. The auditor keeps collecting; call
-// Analyze whenever a verdict is needed.
+// Analyze whenever a verdict is needed, and Release when the detector
+// is done to recycle its scratch workspace.
 func NewDetector(aud *auditor.Auditor, cfg DetectorConfig) *Detector {
 	if aud == nil {
 		panic("core: detector needs an auditor")
@@ -191,10 +203,30 @@ func NewDetector(aud *auditor.Auditor, cfg DetectorConfig) *Detector {
 		// One scratch workspace serves every couple and observation
 		// window this detector ever analyzes; Analyze is synchronous,
 		// so the borrow never overlaps.
-		d.ws = stats.NewWorkspace()
+		if pool.Enabled() {
+			d.ws = wsPool.Get().(*stats.Workspace)
+			d.ws.ResetCounts()
+		} else {
+			d.ws = stats.NewWorkspace()
+		}
 		d.cfg.Oscillation.Workspace = d.ws
 	}
 	return d
+}
+
+// Release returns the detector's pooled workspace to the arena. Only
+// detectors that own their workspace (NewDetector created it) give one
+// back; a caller-supplied OscillationConfig.Workspace stays with the
+// caller. The detector must not be used after Release.
+func (d *Detector) Release() {
+	if d.ws == nil {
+		return
+	}
+	if pool.Enabled() {
+		wsPool.Put(d.ws)
+	}
+	d.ws = nil
+	d.cfg.Oscillation.Workspace = nil
 }
 
 // Analyze flushes the auditor up to endCycle and runs both detection

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cchunter/internal/pool"
 	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
@@ -121,7 +122,9 @@ func AnalyzeOscillation(train *trace.Train, cfg OscillationConfig) OscillationAn
 		return out
 	}
 	if cfg.RawPairSeries {
-		out = analyzeSeries(appearanceOrderSeries(train), cfg)
+		series := appearanceOrderSeries(train)
+		out = analyzeSeries(series, cfg)
+		pool.PutFloat64s(series)
 		out.Pair = dominantCouple(train)
 		out.Events = train.Len()
 		return out
@@ -144,10 +147,11 @@ func AnalyzeOscillation(train *trace.Train, cfg OscillationConfig) OscillationAn
 // identifier, assigning identifiers in order of first appearance —
 // the paper's "S→T is assigned '0' and T→S is assigned '1'". The
 // transmitting pair's two directions dominate the window and thus get
-// the small, adjacent identifiers.
+// the small, adjacent identifiers. The returned series is pooled; the
+// caller returns it after analysis.
 func appearanceOrderSeries(train *trace.Train) []float64 {
 	ids := make(map[[2]uint8]int)
-	out := make([]float64, train.Len())
+	out := pool.Float64s(train.Len())
 	for i, e := range train.Events() {
 		key := [2]uint8{e.Actor, e.Victim}
 		id, ok := ids[key]
@@ -228,9 +232,11 @@ func less(a, b [2]uint8) bool {
 	return a[1] < b[1]
 }
 
-// analyzeCouple autocorrelates one couple's ±1/0 label series.
+// analyzeCouple autocorrelates one couple's ±1/0 label series. The
+// series is pooled scratch: it is dead once analyzeSeries has copied
+// out everything the analysis keeps.
 func analyzeCouple(train *trace.Train, couple [2]uint8, cfg OscillationConfig) OscillationAnalysis {
-	series := make([]float64, train.Len())
+	series := pool.Float64s(train.Len())
 	for i, e := range train.Events() {
 		switch {
 		case e.Actor == couple[0] && e.Victim == couple[1]:
@@ -240,6 +246,7 @@ func analyzeCouple(train *trace.Train, couple [2]uint8, cfg OscillationConfig) O
 		}
 	}
 	out := analyzeSeries(series, cfg)
+	pool.PutFloat64s(series)
 	out.Pair = couple
 	out.Events = train.Len()
 	return out
@@ -267,8 +274,8 @@ func analyzeSeries(series []float64, cfg OscillationConfig) OscillationAnalysis 
 	out.Peaks = stats.Peaks(out.Autocorrelogram, cfg.PeakThreshold)
 	// Track the running minimum so each candidate peak's prominence
 	// (rise above the deepest preceding valley) is available in one
-	// pass.
-	runMin := make([]float64, len(out.Autocorrelogram))
+	// pass. Pooled scratch, dead once the peak loop below finishes.
+	runMin := pool.Float64s(len(out.Autocorrelogram))
 	low := 1.0
 	for lag := 1; lag < len(out.Autocorrelogram); lag++ {
 		if out.Autocorrelogram[lag] < low {
@@ -288,6 +295,7 @@ func analyzeSeries(series []float64, cfg OscillationConfig) OscillationAnalysis 
 			out.PeakValue = p.Value
 		}
 	}
+	pool.PutFloat64s(runMin)
 	if out.FundamentalLag == 0 {
 		return out
 	}
@@ -301,9 +309,12 @@ func analyzeSeries(series []float64, cfg OscillationConfig) OscillationAnalysis 
 // scanning within the tolerance band around each multiple. Lags inside
 // the precomputed correlogram are read from it; harmonics beyond
 // MaxLag (a long fundamental in a short plot) are verified with
-// targeted autocorrelation computations on the series. Periodicity
-// must be sustained, so counting stops at the first missing harmonic;
-// harmonics the series is too short to verify cannot be counted.
+// targeted autocorrelation computations on the series. With a
+// workspace, those probes reuse the centered copy and energy the
+// correlogram pass just computed (bit-identical values, none of the
+// per-lag mean/energy rework). Periodicity must be sustained, so
+// counting stops at the first missing harmonic; harmonics the series
+// is too short to verify cannot be counted.
 func countHarmonics(series, acf []float64, fundamental int, cfg OscillationConfig) int {
 	count := 0
 	for m := 1; ; m++ {
@@ -315,28 +326,62 @@ func countHarmonics(series, acf []float64, fundamental int, cfg OscillationConfi
 		if center-tol >= len(series) {
 			break
 		}
-		best := 0.0
-		for lag := center - tol; lag <= center+tol && lag < len(series); lag++ {
-			if lag < 1 {
-				continue
-			}
-			var v float64
-			if lag < len(acf) {
-				v = acf[lag]
-			} else {
-				v = stats.Autocorrelation(series, lag)
-			}
-			if v > best {
-				best = v
-			}
-		}
 		// Harmonics decay with lag; accept a gentle relaxation of the
 		// threshold for higher multiples.
 		need := cfg.PeakThreshold
 		if m > 1 {
 			need *= 0.8
 		}
-		if best >= need {
+		probe := func(lag int) bool {
+			var v float64
+			switch {
+			case lag < len(acf):
+				v = acf[lag]
+			case cfg.Workspace != nil:
+				// The workspace's centered buffer still holds this
+				// series: analyzeSeries probes harmonics immediately
+				// after its Autocorrelogram call.
+				v = cfg.Workspace.CenteredAutocorrelation(lag)
+			default:
+				v = stats.Autocorrelation(series, lag)
+			}
+			return v >= need
+		}
+		// The harmonic passes iff any lag in the band clears need — a
+		// property of the set of band lags, indifferent to scan order.
+		// A present harmonic peaks at or near the exact multiple, so
+		// scanning outward from the center finds a clearing lag in O(1)
+		// probes instead of sweeping the whole band; an absent harmonic
+		// (the terminating case) still probes every lag once.
+		lo, hi := center-tol, center+tol
+		if lo < 1 {
+			lo = 1
+		}
+		if hi >= len(series) {
+			hi = len(series) - 1
+		}
+		c0 := center
+		if c0 > hi {
+			c0 = hi
+		}
+		if c0 < lo {
+			c0 = lo
+		}
+		cleared := false
+		for off := 0; !cleared; off++ {
+			up, down := c0+off, c0-off
+			inUp, inDown := up <= hi, off > 0 && down >= lo
+			if !inUp && !inDown {
+				break
+			}
+			if inUp && probe(up) {
+				cleared = true
+			}
+			if !cleared && inDown && probe(down) {
+				cleared = true
+			}
+		}
+		if cleared {
 			count++
 		} else {
 			break

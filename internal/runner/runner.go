@@ -21,6 +21,17 @@
 // Pool{Workers: 1} reproduces the serial path and any other worker
 // count produces the same bytes. cmd/ccrepro's determinism gate and
 // the tests in this package enforce that equivalence.
+//
+// Allocation behavior at steady state: jobs draw their analysis
+// scratch — label series, running minima, discretized feature
+// vectors, autocorrelation workspaces — from the size-classed arena
+// in internal/pool and return it when the job's detector finishes
+// (Detector.Release). sync.Pool keeps per-P free lists, so a worker
+// that runs many similar jobs quickly re-acquires the buffers the
+// previous job on that worker released, and a long `ccrepro -j N`
+// sweep reaches a steady state where the analysis hot path allocates
+// nothing per job. Buffers are zeroed on Get, so reuse cannot leak
+// state between jobs — the bit-for-bit guarantee above is unaffected.
 package runner
 
 import (

@@ -98,6 +98,7 @@ type Workspace struct {
 	twre, twim []float64 // twiddle table e^{-2πik/L}, length L/2
 	twN        int       // transform size the table is built for
 	centered   []float64 // mean-centered copy of the input
+	cden       float64   // energy Σ(x-mean)² of the centered copy
 	acf        []float64 // output buffer, returned to the caller
 
 	// Path-selection tallies, read via PathCounts. Plain (non-atomic)
@@ -110,6 +111,15 @@ type Workspace struct {
 // run can show which side of the crossover its trains landed on.
 func (w *Workspace) PathCounts() (fft, naive uint64) {
 	return w.fftCalls, w.naiveCalls
+}
+
+// ResetCounts zeroes the path-selection tallies. A pooled workspace is
+// reset when it is handed to a new owner, so its published counts
+// cover exactly that owner's calls — the same numbers a freshly
+// allocated workspace would report. Scratch buffers keep their
+// capacity; they carry no information across calls.
+func (w *Workspace) ResetCounts() {
+	w.fftCalls, w.naiveCalls = 0, 0
 }
 
 // NewWorkspace returns an empty workspace. Equivalent to new(Workspace);
@@ -169,6 +179,7 @@ func (w *Workspace) Autocorrelogram(xs []float64, maxLag int) []float64 {
 	out := w.acf
 	w.centered = grow(w.centered, n)
 	den := centerInto(w.centered, xs)
+	w.cden = den
 	if den == 0 {
 		for i := range out {
 			out[i] = 0 // constant series has no autocorrelation
@@ -183,6 +194,28 @@ func (w *Workspace) Autocorrelogram(xs []float64, maxLag int) []float64 {
 		naiveAutocorr(w.centered, den, out)
 	}
 	return out
+}
+
+// CenteredAutocorrelation returns r_p of the series most recently
+// passed to Autocorrelogram, reusing its mean-centered copy and
+// energy. The value is bit-identical to Autocorrelation(series, p):
+// the centered entries are the very (x−mean) differences that call
+// would recompute, and the numerator accumulates over ascending i in
+// the same order, so every IEEE operation matches. The oscillation
+// detector uses this for harmonic probes beyond the correlogram's
+// maxLag, which previously re-derived the mean and the energy for
+// every probed lag (≈40% of the cache-channel figure's profile).
+func (w *Workspace) CenteredAutocorrelation(p int) float64 {
+	n := len(w.centered)
+	if p < 0 || p >= n || w.cden == 0 {
+		return 0
+	}
+	c := w.centered
+	var num float64
+	for i := 0; i+p < n; i++ {
+		num += c[i] * c[i+p]
+	}
+	return num / w.cden
 }
 
 // fftAutocorr fills out[p] = r_p for the centered series via the

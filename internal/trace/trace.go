@@ -233,8 +233,10 @@ func (t *Train) FilterActor(a uint8) *Train {
 // Densities slices [start, end) into consecutive Δt windows and returns
 // the event count in each (§IV-B step 1: Δt is the observation window
 // to count the number of event occurrences within that interval).
-// Events outside the range are ignored. A partial trailing window is
-// included when includePartial is true.
+// Events outside the range are ignored (the train is time-ordered, so
+// the range is narrowed by binary search and only events inside it are
+// visited). A partial trailing window is included when includePartial
+// is true.
 func (t *Train) Densities(start, end, dt uint64, includePartial bool) []int {
 	if dt == 0 {
 		panic("trace: Densities with dt == 0")
@@ -250,10 +252,9 @@ func (t *Train) Densities(start, end, dt uint64, includePartial bool) []int {
 		total++
 	}
 	out := make([]int, total)
-	for _, e := range t.events {
-		if e.Cycle < start || e.Cycle >= end {
-			continue
-		}
+	lo := searchCycle(t.events, start)
+	hi := searchCycle(t.events, end)
+	for _, e := range t.events[lo:hi] {
 		idx := int((e.Cycle - start) / dt)
 		if idx >= total {
 			continue // inside the partial window when it is excluded

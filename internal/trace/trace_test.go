@@ -66,6 +66,76 @@ func TestWindow(t *testing.T) {
 	}
 }
 
+func TestWindowBoundaries(t *testing.T) {
+	empty := NewTrain(0)
+	if w := empty.Window(0, 100); w.Len() != 0 {
+		t.Errorf("empty train window: %v", w.Events())
+	}
+	if w := empty.Window(0, 0); w.Len() != 0 {
+		t.Error("empty train, empty range: non-empty window")
+	}
+
+	tr := mkTrain(5, 5, 5, 9, 12, 12)
+	// start == end on an occupied cycle selects nothing.
+	if w := tr.Window(5, 5); w.Len() != 0 {
+		t.Errorf("start==end window: %v", w.Events())
+	}
+	// A window past the last event is empty even when start is in range.
+	if w := tr.Window(13, 1000); w.Len() != 0 {
+		t.Errorf("window past last event: %v", w.Events())
+	}
+	// Ties: searchCycle must land on the *first* of an equal run, so a
+	// window starting at a duplicated cycle takes the whole run...
+	if w := tr.Window(5, 9); w.Len() != 3 {
+		t.Errorf("window at duplicated start took %d events, want 3", w.Len())
+	}
+	// ...and a window ending at one excludes the whole run.
+	if w := tr.Window(9, 12); w.Len() != 1 || w.At(0).Cycle != 9 {
+		t.Errorf("window ending at duplicated cycle: %v", w.Events())
+	}
+	// Half-open on both sides: end equal to the last cycle excludes it.
+	if w := tr.Window(0, 12); w.Len() != 4 {
+		t.Errorf("end at last cycle took %d events, want 4", w.Len())
+	}
+}
+
+func TestSearchCycleFirstOfEqualRun(t *testing.T) {
+	events := mkTrain(1, 3, 3, 3, 7, 7).events
+	cases := []struct {
+		c    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 4}, {7, 4}, {8, 6},
+	}
+	for _, tc := range cases {
+		if got := searchCycle(events, tc.c); got != tc.want {
+			t.Errorf("searchCycle(%d) = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+	if got := searchCycle(nil, 5); got != 0 {
+		t.Errorf("searchCycle on empty slice = %d, want 0", got)
+	}
+}
+
+func TestDensitiesBoundaries(t *testing.T) {
+	if got := NewTrain(0).Densities(0, 40, 10, false); len(got) != 4 {
+		t.Errorf("empty train densities: %v", got)
+	}
+	tr := mkTrain(10, 10, 10, 25)
+	// All events before start / after end contribute nothing.
+	if got := tr.Densities(30, 50, 10, false); got[0] != 0 || got[1] != 0 {
+		t.Errorf("densities past last event: %v", got)
+	}
+	// A duplicated cycle exactly at start lands fully in window 0.
+	if got := tr.Densities(10, 30, 10, false); got[0] != 3 || got[1] != 1 {
+		t.Errorf("densities with tied start cycle: %v", got)
+	}
+	// An event exactly at end is excluded (half-open range).
+	if got := tr.Densities(0, 25, 5, false); got[2] != 3 || got[4] != 0 {
+		t.Errorf("densities with event at end: %v", got)
+	}
+}
+
 func TestFilterKindAndActor(t *testing.T) {
 	tr := NewTrain(0)
 	tr.Append(Event{Cycle: 1, Kind: KindBusLock, Actor: 0})

@@ -304,7 +304,9 @@ func (sc Scenario) Run() (*Result, error) {
 		}
 	}
 	anSpan := sc.Metrics.Timer("scenario.analyze_ns").Start()
-	res.Report = core.NewDetector(aud, detCfg).Analyze(end)
+	det := core.NewDetector(aud, detCfg)
+	res.Report = det.Analyze(end)
+	det.Release()
 	anSpan.End()
 	if sc.Metrics != nil {
 		// Re-snapshot after the analyze span closed so the attached

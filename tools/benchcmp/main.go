@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchcmp -baseline tools/bench_baseline.json -current BENCH_pipeline.json
+//	benchcmp -baseline BENCH_baseline.json -current BENCH_pipeline.json
 //	         [-tolerance 0.20] [-metric-tolerance 1e-6]
 //
 // Wall-clock comparison across machines is done through each report's
@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	baselinePath := flag.String("baseline", "tools/bench_baseline.json", "committed baseline report")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
 	currentPath := flag.String("current", "BENCH_pipeline.json", "freshly generated report")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed relative ns/allocs regression after calibration scaling")
 	metricTol := flag.Float64("metric-tolerance", 1e-6, "allowed relative drift in detection metrics")
