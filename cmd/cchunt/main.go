@@ -7,6 +7,7 @@
 //	       [-sets 512] [-workloads gobmk,sjeng] [-quanta 0]
 //	       [-quantum 250000000] [-divisor 1] [-ideal] [-seed 1]
 //	       [-faults drop=0.05,jitter=200] [-v] [-metrics-addr :8080]
+//	       [-stream] [-start-quanta 0] [-watchdog 30s] [-record flight.json]
 //	       [-no-pool] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Examples:
@@ -40,6 +41,7 @@ func main() {
 	workloads := flag.String("workloads", "", "comma-separated benign workloads (see -list)")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	quanta := flag.Int("quanta", 0, "observation quanta (0 = enough for the message)")
+	startQuanta := flag.Int("start-quanta", 0, "delay the channel's first bit by this many benign quanta (gives -stream a change to date)")
 	quantum := flag.Uint64("quantum", 0, "OS time quantum in cycles (0 = paper's 250M)")
 	divisor := flag.Int("divisor", 1, "oscillation observation windows per quantum")
 	ideal := flag.Bool("ideal", false, "use the ideal LRU-stack conflict tracker")
@@ -48,6 +50,9 @@ func main() {
 		strings.Join(cchunter.FaultSpecKeys(), ", ")+")")
 	seed := flag.Uint64("seed", 1, "random seed")
 	metricsAddr := flag.String("metrics-addr", "", "serve live pipeline metrics as JSON on this address (e.g. :8080) for the duration of the run")
+	streamMode := flag.Bool("stream", false, "streaming bounded-memory detection (verdict identical; adds onset estimates)")
+	watchdog := flag.Duration("watchdog", 0, "analysis watchdog timeout; overrun or panic yields a degraded verdict (0 = off)")
+	record := flag.String("record", "", "write a flight-recorder capture (raw events around the verdict) to this file for cctrace replay")
 	verbose := flag.Bool("v", false, "print histograms and per-window detail")
 	noPool := flag.Bool("no-pool", false, "disable analysis buffer pooling (debugging aid; output is identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -84,12 +89,18 @@ func main() {
 		Message:            cchunter.RandomMessage(*bits, *seed),
 		CacheSets:          *sets,
 		DurationQuanta:     *quanta,
+		ChannelStartQuanta: *startQuanta,
 		QuantumCycles:      *quantum,
 		ObservationDivisor: *divisor,
 		IdealTracker:       *ideal,
 		Mitigation:         *mitigation,
 		Faults:             faultCfg,
 		Seed:               *seed,
+		Stream:             *streamMode,
+		Watchdog:           *watchdog,
+	}
+	if *record != "" {
+		sc.FlightEvents = -1 // default ring capacity
 	}
 	if *workloads != "" {
 		sc.Workloads = strings.Split(*workloads, ",")
@@ -131,6 +142,27 @@ func main() {
 			fs.Lost(), fs.Seen, 100*fs.LossRate(), fs.CtxFlipped+fs.CtxSmeared)
 	}
 	fmt.Println(res.Report)
+	if s := res.Report.Streaming; s != nil {
+		for _, o := range s.Onsets {
+			if !o.Detected {
+				continue
+			}
+			fmt.Printf("onset: %s change at cycle %d (%.3f s), alarm fired at cycle %d\n",
+				o.Kind, o.OnsetCycle, float64(o.OnsetCycle)/2.5e9, o.FiredCycle)
+		}
+		if s.EventsShed > 0 {
+			fmt.Printf("load shedding: %d events dropped at the ingest queue\n", s.EventsShed)
+		}
+	}
+	if *record != "" && res.Flight != nil {
+		if err := res.Flight.WriteFile(*record); err != nil {
+			fmt.Fprintln(os.Stderr, "cchunt:", err)
+			stopProfiles()
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "flight: %d events (%s) -> %s\n",
+			len(res.Flight.Events), res.Flight.Reason, *record)
+	}
 
 	if *verbose {
 		if res.BusHistogram != nil && res.BusHistogram.TotalFrom(1) > 0 {

@@ -5,7 +5,7 @@
 //
 //	ccrepro [-fig all|2,3,6,8,...] [-out out/] [-scale 100] [-seed 1]
 //	        [-messages 32] [-quanta 64] [-j N] [-v] [-no-pool]
-//	        [-bench-out bench.json] [-metrics-out metrics.json]
+//	        [-watchdog 0] [-bench-out bench.json] [-metrics-out metrics.json]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Figure ids: 2 3 4 5 6 7 8 10 11 12 13 14, "t1" for Table I, "m"
@@ -19,6 +19,10 @@
 // and writes the per-figure snapshots (counters, gauges, stage timers)
 // as one JSON object keyed by figure id; the CSV output stays
 // byte-identical to an uninstrumented run.
+// -watchdog D supervises every figure job: a job that exceeds D or
+// panics is abandoned with a typed failure instead of hanging or
+// killing the run, and the fires/recoveries appear under the "runner"
+// key of the -metrics-out snapshot.
 package main
 
 import (
@@ -59,6 +63,7 @@ func main() {
 	benchOut := flag.String("bench-out", "", "write a benchmark-trajectory JSON report (ns, allocs, detection metrics per figure) to this file; forces -j 1 for per-figure attribution")
 	metricsOut := flag.String("metrics-out", "", "instrument each figure with a pipeline metrics registry and write the per-figure snapshots as JSON to this file")
 	noPool := flag.Bool("no-pool", false, "disable analysis buffer pooling (debugging aid; output is identical either way)")
+	watchdog := flag.Duration("watchdog", 0, "per-figure watchdog timeout; stuck or panicking figures become typed failures instead of hanging the run (0 = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -133,17 +138,31 @@ func main() {
 			return r.Summary(), r
 		}},
 		{"t1", func(experiments.Options) (string, interface{}) { r := experiments.TableI(); return r.Summary(), r }},
-		{"m", func(o experiments.Options) (string, interface{}) { r := experiments.ExtMitigation(o); return r.Summary(), r }},
-		{"e", func(o experiments.Options) (string, interface{}) { r := experiments.ExtEvasion(o); return r.Summary(), r }},
-		{"r", func(o experiments.Options) (string, interface{}) { r := experiments.Robustness(o); return r.Summary(), r }},
+		{"m", func(o experiments.Options) (string, interface{}) {
+			r := experiments.ExtMitigation(o)
+			return r.Summary(), r
+		}},
+		{"e", func(o experiments.Options) (string, interface{}) {
+			r := experiments.ExtEvasion(o)
+			return r.Summary(), r
+		}},
+		{"r", func(o experiments.Options) (string, interface{}) {
+			r := experiments.Robustness(o)
+			return r.Summary(), r
+		}},
 	}
 
 	// With -metrics-out, each figure gets a private registry: its
 	// internal sweep jobs share it (the registry is race-safe), and the
 	// snapshots stay attributable to one figure even at -j > 1.
 	var regs map[string]*cchunter.MetricsRegistry
+	var poolReg *cchunter.MetricsRegistry
 	if *metricsOut != "" {
 		regs = make(map[string]*cchunter.MetricsRegistry)
+		// Supervision counters (watchdog fires, panics recovered) land
+		// in their own registry so the snapshot separates per-figure
+		// pipeline work from runner-level incidents.
+		poolReg = cchunter.NewMetricsRegistry()
 	}
 
 	var pending []runner.Job
@@ -190,27 +209,16 @@ func main() {
 		ids = append(ids, s.id)
 	}
 
-	start := time.Now()
-	pool := runner.Pool{Workers: *jobs, OnProgress: progressLine}
-	results, err := pool.Run(*seed, pending)
-	if len(pending) > 0 {
-		fmt.Fprintln(os.Stderr)
-	}
-	if err != nil {
-		fatal(err)
-	}
-
-	for i, r := range results {
-		out := r.Value.(stepOutput)
-		fmt.Println(out.summary)
-		fmt.Println()
-		writeCSVs(*outDir, ids[i], out.result)
-	}
-
-	if regs != nil {
-		snaps := make(map[string]*cchunter.MetricsSnapshot, len(ids))
+	flushMetrics := func() {
+		if regs == nil {
+			return
+		}
+		snaps := make(map[string]*cchunter.MetricsSnapshot, len(ids)+1)
 		for _, id := range ids {
 			snaps["fig"+id] = regs[id].Snapshot()
+		}
+		if poolReg != nil {
+			snaps["runner"] = poolReg.Snapshot()
 		}
 		buf, err := json.MarshalIndent(snaps, "", "  ")
 		if err != nil {
@@ -221,6 +229,39 @@ func main() {
 		}
 		fmt.Printf("metrics report: %s (%d figures)\n", *metricsOut, len(ids))
 	}
+
+	start := time.Now()
+	pool := runner.Pool{
+		Workers:    *jobs,
+		OnProgress: progressLine,
+		Watchdog:   *watchdog,
+		Recover:    *watchdog > 0,
+		Metrics:    poolReg,
+	}
+	results, err := pool.Run(*seed, pending)
+	if len(pending) > 0 {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		// Name every failed figure, then flush whatever supervision
+		// counters accumulated so the post-mortem has the incident tally.
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "ccrepro: %s failed: %v\n", r.Name, r.Err)
+			}
+		}
+		flushMetrics()
+		fatal(err)
+	}
+
+	for i, r := range results {
+		out := r.Value.(stepOutput)
+		fmt.Println(out.summary)
+		fmt.Println()
+		writeCSVs(*outDir, ids[i], out.result)
+	}
+
+	flushMetrics()
 	if bench != nil {
 		f, err := os.Create(*benchOut)
 		if err != nil {

@@ -1,14 +1,17 @@
 // Command cctrace runs a scenario and dumps the raw indicator-event
-// trains and density histograms for offline analysis.
+// trains and density histograms for offline analysis, or replays a
+// flight-recorder capture through a fresh detection pipeline.
 //
 // Usage:
 //
 //	cctrace -channel bus [-bps 1000] [-bits 16] [-out trace.csv]
 //	        [-kind all|bus-lock|div-contention|conflict-miss]
 //	        [-ascii]
+//	cctrace replay -in flight.json [-stream] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +21,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		replayMain(os.Args[2:])
+		return
+	}
 	channel := flag.String("channel", "bus", "covert channel: bus, divider, cache, none")
 	bps := flag.Float64("bps", 1000, "channel bandwidth in bits per second")
 	bits := flag.Int("bits", 16, "random message length")
@@ -85,5 +92,55 @@ func main() {
 	if err := train.WriteCSV(w); err != nil {
 		fmt.Fprintln(os.Stderr, "cctrace:", err)
 		os.Exit(2)
+	}
+}
+
+// replayMain re-runs detection over a flight-recorder capture. The
+// flight carries everything replay needs (quantum, contexts, divisor,
+// end cycle, raw events), so the verdict is reproduced without the
+// original workload — and is deterministic: the same flight always
+// prints the same report.
+func replayMain(args []string) {
+	fs := flag.NewFlagSet("cctrace replay", flag.ExitOnError)
+	in := fs.String("in", "", "flight capture to replay (required)")
+	streamMode := fs.Bool("stream", false, "replay through the streaming detector (adds onset estimates)")
+	asJSON := fs.Bool("json", false, "print the replayed report as JSON")
+	_ = fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "cctrace replay: -in is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	f, err := cchunter.ReadFlight(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cctrace:", err)
+		os.Exit(2)
+	}
+	if f.Truncated {
+		fmt.Fprintf(os.Stderr, "cctrace: flight is truncated (%d events dropped before capture); replaying the recorded suffix\n", f.Dropped)
+	}
+	replay := cchunter.ReplayFlight
+	if *streamMode {
+		replay = cchunter.ReplayFlightStreaming
+	}
+	rep, err := replay(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cctrace:", err)
+		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "cctrace:", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Printf("replaying %d events (reason: %s, end cycle %d)\n",
+			len(f.Events), f.Reason, f.Meta.EndCycle)
+		fmt.Println(rep)
+	}
+	if rep.Detected {
+		os.Exit(1)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"cchunter/internal/core"
 	"cchunter/internal/faults"
 	"cchunter/internal/obs"
+	"cchunter/internal/recorder"
 	"cchunter/internal/stats"
 	"cchunter/internal/trace"
 )
@@ -65,7 +66,31 @@ type (
 	// MetricsSnapshot is a frozen, JSON-marshalable copy of a
 	// MetricsRegistry, attached to Report.Metrics on instrumented runs.
 	MetricsSnapshot = obs.Snapshot
+	// StreamingInfo is the streaming daemon's evidence block, attached
+	// to Report.Streaming on Scenario.Stream runs.
+	StreamingInfo = core.StreamingInfo
+	// OnsetReport is one CUSUM change detector's channel-onset estimate
+	// inside StreamingInfo.
+	OnsetReport = core.OnsetReport
+	// Flight is a flight-recorder capture: the raw event train around a
+	// verdict plus the context needed to replay it deterministically.
+	Flight = recorder.Flight
+	// FlightMeta is the replay context a Flight carries.
+	FlightMeta = recorder.Meta
 )
+
+// ReadFlight parses a flight-recorder capture file written by
+// Flight.WriteFile (cchunt -record, or Result.Flight serialized).
+func ReadFlight(path string) (Flight, error) { return recorder.ReadFile(path) }
+
+// ReplayFlight replays a capture through a freshly built batch
+// detection pipeline; the same flight always yields the same report.
+func ReplayFlight(f Flight) (Report, error) { return recorder.Replay(f) }
+
+// ReplayFlightStreaming replays a capture through the streaming
+// daemon instead, exercising the incremental path; on a complete
+// (untruncated) flight the verdict fields match ReplayFlight's.
+func ReplayFlightStreaming(f Flight) (Report, error) { return recorder.ReplayStreaming(f) }
 
 // NewMetricsRegistry returns an empty observability registry. Assign
 // it to Scenario.Metrics before Run to instrument the pipeline; read

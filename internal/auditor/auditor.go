@@ -94,6 +94,12 @@ type slot struct {
 	saturations uint64 // windows whose 16-bit accumulator hit its ceiling
 	satThisWin  bool
 
+	// drainedClamped accumulates the clamped-window tallies of records
+	// handed out through DrainHistograms, so Integrity keeps reporting
+	// whole-run clamping after the streaming daemon takes ownership of
+	// the per-quantum histograms.
+	drainedClamped uint64
+
 	mWindows *obs.Counter   // Δt windows closed
 	mQuanta  *obs.Counter   // quantum histograms recorded by the daemon
 	mDensity *obs.Histogram // per-window event densities
@@ -187,7 +193,7 @@ func (s *slot) histogramClamped() uint64 {
 	for _, rec := range s.records {
 		n += rec.Hist.Clamped()
 	}
-	return n + s.hist.Clamped()
+	return n + s.drainedClamped + s.hist.Clamped()
 }
 
 // Auditor is the CC-Auditor hardware instance. It implements
@@ -369,6 +375,26 @@ func (a *Auditor) Histograms(kind trace.Kind) []QuantumHistogram {
 	return nil
 }
 
+// DrainHistograms appends every quantum histogram recorded for kind
+// since the last drain to dst and clears the auditor-side record list,
+// returning the extended slice. This is the streaming daemon's read
+// path: ownership of the drained records (and their histograms) moves
+// to the caller, the auditor's buffer stays O(1) quanta deep, and the
+// counting-path Integrity diagnostics keep covering the whole run.
+func (a *Auditor) DrainHistograms(kind trace.Kind, dst []QuantumHistogram) []QuantumHistogram {
+	for _, s := range a.slots {
+		if s.kind != kind {
+			continue
+		}
+		for _, rec := range s.records {
+			s.drainedClamped += rec.Hist.Clamped()
+		}
+		dst = append(dst, s.records...)
+		s.records = s.records[:0]
+	}
+	return dst
+}
+
 // MergedHistogram returns the union of all per-quantum histograms for
 // kind — the full-run event density histogram of Figure 6.
 func (a *Auditor) MergedHistogram(kind trace.Kind) *stats.Histogram {
@@ -406,6 +432,31 @@ func (a *Auditor) ConflictTrain() *trace.Train {
 		return nil
 	}
 	return a.osc.train
+}
+
+// ForceDrainConflicts drains the active vector register into the train
+// without ending the run: the streaming daemon's mid-run read. Unlike
+// Flush it leaves the hardware dedup comparator's state alone, so the
+// recorded train is byte-identical to one drained only by register
+// swaps and the final flush — just visible earlier.
+func (a *Auditor) ForceDrainConflicts() {
+	if a.osc != nil {
+		a.osc.drainActive()
+	}
+}
+
+// TrimConflicts releases recorded conflict entries with Cycle < before
+// from the train, returning how many were dropped. The streaming
+// daemon calls it after analyzing a closed observation window, bounding
+// the train to O(window) entries; ConflictIntegrity keeps counting the
+// released entries as recorded.
+func (a *Auditor) TrimConflicts(before uint64) int {
+	if a.osc == nil {
+		return 0
+	}
+	n := a.osc.train.TrimFront(before)
+	a.osc.trimmed += uint64(n)
+	return n
 }
 
 // DroppedConflicts reports conflict misses lost because both vector
@@ -481,7 +532,7 @@ func (a *Auditor) ConflictIntegrity() ConflictIntegrity {
 		return ConflictIntegrity{}
 	}
 	return ConflictIntegrity{
-		Recorded:          uint64(a.osc.train.Len()),
+		Recorded:          uint64(a.osc.train.Len()) + a.osc.trimmed,
 		Dropped:           a.osc.dropped,
 		ClampedTimestamps: a.osc.clamped,
 	}

@@ -30,6 +30,7 @@ type oscillator struct {
 	swaps    uint64
 	dropped  uint64
 	clamped  uint64 // entries whose timestamps arrived out of order
+	trimmed  uint64 // entries released after streaming window analysis
 
 	havePrev bool
 	prevSet  uint32

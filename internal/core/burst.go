@@ -216,7 +216,13 @@ func analyzeRecurrence(records []auditor.QuantumHistogram, threshold int, cfg Bu
 	if limit := 1 + len(burstFeatures)/3; k > limit {
 		k = limit
 	}
-	assign, _ := stats.KMeans(burstFeatures, k, 100, stats.NewRNG(cfg.Seed))
+	assign, _, err := stats.KMeans(burstFeatures, k, 100, stats.NewRNG(cfg.Seed))
+	if err != nil {
+		// Unclusterable features (cannot happen for the fixed-width
+		// discretization above, but a supervised detector degrades
+		// rather than crashes): no recurrence can be established.
+		return burstQuanta, 0, false
+	}
 	sizes := stats.ClusterSizes(assign, k)
 	largest := 0
 	for _, s := range sizes {

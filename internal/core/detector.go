@@ -76,6 +76,14 @@ type Degradation struct {
 	Degraded bool
 }
 
+// NewDegradation folds raw sensor-path diagnostics into a Degradation,
+// exactly as the batch detector does internally. Exported for the
+// streaming daemon (internal/stream), which assembles verdicts outside
+// this package and must qualify them identically.
+func NewDegradation(lossRate, satRate float64, clamped, events uint64) Degradation {
+	return degradation(lossRate, satRate, clamped, events)
+}
+
 // degradation folds raw diagnostics into the exported struct.
 func degradation(lossRate, satRate float64, clamped, events uint64) Degradation {
 	d := Degradation{
@@ -145,11 +153,26 @@ type Report struct {
 	// or Scenario.Metrics). It never influences any verdict field and
 	// is omitted from the rendered summary.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Streaming carries the streaming daemon's extra evidence (onset
+	// times, retention bounds). The batch detector leaves it nil.
+	Streaming *StreamingInfo `json:"streaming,omitempty"`
+	// Failure is the non-empty reason when a supervised detector job
+	// died (panic, watchdog) and this report is a degraded placeholder
+	// rather than an analysis (see DegradedReport).
+	Failure string `json:"failure,omitempty"`
 }
+
+// Failed reports whether this is a degraded placeholder from a crashed
+// or timed-out detector job rather than a rendered analysis.
+func (r Report) Failed() bool { return r.Failure != "" }
 
 // String renders a terse human-readable summary.
 func (r Report) String() string {
 	var sb strings.Builder
+	if r.Failure != "" {
+		fmt.Fprintf(&sb, "verdict: detector failed (%s); no detection claim, re-observe", r.Failure)
+		return sb.String()
+	}
 	for _, c := range r.Contention {
 		fmt.Fprintf(&sb, "%s: detected=%v LR=%.3f threshold=%d burstQuanta=%d\n",
 			c.Kind, c.Analysis.Detected, c.Analysis.LikelihoodRatio,

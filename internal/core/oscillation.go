@@ -56,6 +56,14 @@ type OscillationConfig struct {
 	// the duration of each autocorrelation (results are copied out) and
 	// must not be shared across goroutines.
 	Workspace *stats.Workspace
+	// SegmentLen, when positive (and a Workspace is supplied), switches
+	// the correlogram to the segmented Wiener–Khinchin estimate:
+	// Bartlett-averaged autocorrelograms over fixed-size chunks. The
+	// streaming daemon uses it for mid-window interim verdicts — each
+	// chunk costs O(SegmentLen log SegmentLen) and nothing ever
+	// transforms the whole series. It is an estimate; final (and batch)
+	// analyses leave it zero and compute the exact §IV-D statistic.
+	SegmentLen int
 }
 
 // DefaultOscillationConfig returns parameters matching the paper's
@@ -196,6 +204,13 @@ func better(a, b OscillationAnalysis) bool {
 	return a.PeakValue > b.PeakValue
 }
 
+// BetterOscillation reports whether a is a stronger analysis than b
+// under the exact ordering BestWindow uses. The streaming daemon folds
+// its per-window analyses through this incrementally, so its running
+// "best window" is the one a batch BestWindow call over the same
+// window sequence would pick.
+func BetterOscillation(a, b OscillationAnalysis) bool { return better(a, b) }
+
 // coupleCounts returns the unordered context couples with at least
 // minEvents events (both directions combined) in the train.
 func coupleCounts(train *trace.Train, minEvents int) [][2]uint8 {
@@ -266,7 +281,12 @@ func analyzeSeries(series []float64, cfg OscillationConfig) OscillationAnalysis 
 	if cfg.Workspace != nil {
 		// The workspace owns the slice it returns and will overwrite it
 		// on its next use; OscillationAnalysis outlives that, so copy.
-		acf := cfg.Workspace.Autocorrelogram(series, maxLag)
+		var acf []float64
+		if cfg.SegmentLen > 0 {
+			acf = cfg.Workspace.SegmentedAutocorrelogram(series, cfg.SegmentLen, maxLag)
+		} else {
+			acf = cfg.Workspace.Autocorrelogram(series, maxLag)
+		}
 		out.Autocorrelogram = append(make([]float64, 0, len(acf)), acf...)
 	} else {
 		out.Autocorrelogram = stats.Autocorrelogram(series, maxLag)

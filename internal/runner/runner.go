@@ -35,10 +35,14 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"cchunter/internal/obs"
 )
 
 // Job is one named unit of work. Name must be unique within a Run
@@ -51,6 +55,13 @@ type Job struct {
 	// example, to reproduce a documented paper configuration) may
 	// ignore it.
 	Run func(seed uint64) (interface{}, error)
+	// RunCtx, when set, is used instead of Run and receives a context
+	// that is cancelled when the job's watchdog fires, so a
+	// cooperative job can stop early. Without a watchdog the context
+	// is never cancelled.
+	RunCtx func(ctx context.Context, seed uint64) (interface{}, error)
+	// Timeout overrides the pool's Watchdog for this job (0 = inherit).
+	Timeout time.Duration
 	// Stages, when set, is called once after Run returns to harvest
 	// per-stage time attribution (e.g. an obs.Registry's StageTimes).
 	// It runs on the job's worker, before the result is reported, so
@@ -71,6 +82,12 @@ type Result struct {
 	// Worker is the index of the worker that ran the job (0-based).
 	// Informational only: results never depend on it.
 	Worker int
+	// Panicked reports the job died by panic and was recovered
+	// (Err is a *PanicError).
+	Panicked bool
+	// TimedOut reports the watchdog abandoned the job (Err wraps
+	// ErrWatchdog).
+	TimedOut bool
 	// Stages is the job's per-stage time attribution, nil unless the
 	// job provided a Stages hook. Informational only, like Elapsed.
 	Stages map[string]time.Duration
@@ -95,6 +112,20 @@ type Pool struct {
 	Workers int
 	// OnProgress, when set, is called after each job completes.
 	OnProgress func(Progress)
+	// Watchdog, when positive, bounds each job's wall-clock execution:
+	// an overrunning job's context is cancelled, and if it still does
+	// not return the job is abandoned with an ErrWatchdog-wrapped
+	// error. Zero disables supervision, which is the byte-identical
+	// legacy path (jobs run on the worker goroutine itself).
+	Watchdog time.Duration
+	// Recover converts a panicking job into a *PanicError result
+	// instead of crashing the process. Always on when Watchdog is set
+	// (an abandoned goroutine's late panic must not take the pool
+	// down).
+	Recover bool
+	// Metrics, which may be nil, tallies runner.watchdog_fired and
+	// runner.panics_recovered.
+	Metrics *obs.Registry
 }
 
 // Run executes every job and returns their results in input order.
@@ -122,6 +153,9 @@ func (p Pool) Run(rootSeed uint64, jobs []Job) ([]Result, error) {
 		}
 		if _, dup := seen[j.Name]; dup {
 			return nil, fmt.Errorf("runner: duplicate job name %q", j.Name)
+		}
+		if j.Run == nil && j.RunCtx == nil {
+			return nil, fmt.Errorf("runner: job %q has no Run function", j.Name)
 		}
 		seen[j.Name] = struct{}{}
 	}
@@ -180,7 +214,7 @@ func (p Pool) Run(rootSeed uint64, jobs []Job) ([]Result, error) {
 				}
 				job := jobs[i]
 				t0 := time.Now()
-				v, err := job.Run(DeriveSeed(rootSeed, job.Name))
+				v, err := p.execute(job, DeriveSeed(rootSeed, job.Name))
 				r := Result{
 					Name:    job.Name,
 					Value:   v,
@@ -188,6 +222,9 @@ func (p Pool) Run(rootSeed uint64, jobs []Job) ([]Result, error) {
 					Elapsed: time.Since(t0),
 					Worker:  worker,
 				}
+				var pe *PanicError
+				r.Panicked = errors.As(err, &pe)
+				r.TimedOut = errors.Is(err, ErrWatchdog)
 				if job.Stages != nil {
 					r.Stages = job.Stages()
 				}
@@ -203,6 +240,26 @@ func (p Pool) Run(rootSeed uint64, jobs []Job) ([]Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// execute runs one job under the pool's supervision policy. With no
+// watchdog and no recovery configured, the job runs directly on the
+// worker goroutine — the legacy path, byte-identical in behavior and
+// timing to the unsupervised pool.
+func (p Pool) execute(job Job, seed uint64) (interface{}, error) {
+	timeout := p.Watchdog
+	if job.Timeout > 0 {
+		timeout = job.Timeout
+	}
+	run := job.RunCtx
+	if run == nil {
+		run = func(_ context.Context, seed uint64) (interface{}, error) { return job.Run(seed) }
+	}
+	if timeout <= 0 && !p.Recover {
+		return run(context.Background(), seed)
+	}
+	return Supervise(context.Background(), job.Name, timeout, p.Metrics,
+		func(ctx context.Context) (interface{}, error) { return run(ctx, seed) })
 }
 
 // Run is the convenience form: a pool with the given worker count and

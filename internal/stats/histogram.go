@@ -16,21 +16,30 @@ type Histogram struct {
 	// they are folded into the last bin but remembered so analyses can
 	// tell saturation from genuine mass at the top.
 	clamped uint64
+	// invalid counts observations rejected as impossible (negative
+	// densities). They carry no mass; a corrupted sensor path degrades
+	// the record, it must not crash the detector.
+	invalid uint64
 }
 
-// NewHistogram returns a histogram with the given number of bins.
+// NewHistogram returns a histogram with the given number of bins; a
+// non-positive count is clamped to one bin (every density then records
+// as clamped mass — degraded, never crashed).
 func NewHistogram(bins int) *Histogram {
 	if bins <= 0 {
-		panic("stats: histogram needs at least one bin")
+		bins = 1
 	}
 	return &Histogram{bins: make([]uint64, bins)}
 }
 
 // Add records one observation window containing density events.
-// Negative densities panic: densities are counts.
+// Negative densities are counted as invalid and otherwise ignored:
+// densities are counts, and a value that cannot be a count is sensor
+// corruption, not mass.
 func (h *Histogram) Add(density int) {
 	if density < 0 {
-		panic("stats: negative event density")
+		h.invalid++
+		return
 	}
 	if density >= len(h.bins) {
 		h.clamped++
@@ -42,7 +51,8 @@ func (h *Histogram) Add(density int) {
 // AddN records n observation windows at the same density.
 func (h *Histogram) AddN(density int, n uint64) {
 	if density < 0 {
-		panic("stats: negative event density")
+		h.invalid += n
+		return
 	}
 	if density >= len(h.bins) {
 		h.clamped += n
@@ -69,6 +79,10 @@ func (h *Histogram) NumBins() int { return len(h.bins) }
 
 // Clamped returns how many observations exceeded the top bin.
 func (h *Histogram) Clamped() uint64 { return h.clamped }
+
+// Invalid returns how many observations were rejected as impossible
+// (negative densities from a corrupted path).
+func (h *Histogram) Invalid() uint64 { return h.invalid }
 
 // Total returns the number of recorded observation windows.
 func (h *Histogram) Total() uint64 {
@@ -97,26 +111,64 @@ func (h *Histogram) Reset() {
 		h.bins[i] = 0
 	}
 	h.clamped = 0
+	h.invalid = 0
 }
 
-// Merge adds other's bins into h. The two histograms must have the same
-// number of bins.
+// Merge adds other's bins into h. Histograms of equal depth merge
+// exactly. When other is deeper, its out-of-range mass folds into h's
+// top bin and counts as clamped — the same degradation Add applies to
+// an over-deep density. When other is shallower, its bins land where
+// they are; only mass at other's own top bin may under-report the true
+// density, which other's clamped tally already records.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil {
 		return
 	}
-	if len(h.bins) != len(other.bins) {
-		panic("stats: merging histograms with different bin counts")
-	}
 	for i, b := range other.bins {
+		if i >= len(h.bins) {
+			h.bins[len(h.bins)-1] += b
+			h.clamped += b
+			continue
+		}
 		h.bins[i] += b
 	}
 	h.clamped += other.clamped
+	h.invalid += other.invalid
+}
+
+// Unmerge subtracts other's bins from h — the inverse of a prior
+// equal-depth Merge(other). The streaming daemon's sliding window
+// keeps one merged histogram over the last N quanta and evicts the
+// oldest quantum in O(bins) with this instead of re-merging the whole
+// window. Both histograms must have the same depth and other must have
+// been merged into h earlier (counts never go negative; a violation
+// clamps at zero rather than wrapping).
+func (h *Histogram) Unmerge(other *Histogram) {
+	if other == nil || len(other.bins) != len(h.bins) {
+		return
+	}
+	for i, b := range other.bins {
+		if b > h.bins[i] {
+			h.bins[i] = 0
+			continue
+		}
+		h.bins[i] -= b
+	}
+	if other.clamped > h.clamped {
+		h.clamped = 0
+	} else {
+		h.clamped -= other.clamped
+	}
+	if other.invalid > h.invalid {
+		h.invalid = 0
+	} else {
+		h.invalid -= other.invalid
+	}
 }
 
 // Clone returns a deep copy of h.
 func (h *Histogram) Clone() *Histogram {
-	return &Histogram{bins: append([]uint64(nil), h.bins...), clamped: h.clamped}
+	return &Histogram{bins: append([]uint64(nil), h.bins...), clamped: h.clamped, invalid: h.invalid}
 }
 
 // NonZeroMax returns the highest bin index with a non-zero count, or -1

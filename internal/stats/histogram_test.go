@@ -38,20 +38,40 @@ func TestHistogramClamping(t *testing.T) {
 	}
 }
 
-func TestHistogramPanics(t *testing.T) {
-	for name, f := range map[string]func(){
-		"zero bins":   func() { NewHistogram(0) },
-		"negative":    func() { NewHistogram(4).Add(-1) },
-		"merge shape": func() { NewHistogram(4).Merge(NewHistogram(5)) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			f()
-		}()
+func TestHistogramDegradedInputs(t *testing.T) {
+	// Zero bins clamp to one usable bin.
+	h := NewHistogram(0)
+	if h.NumBins() != 1 {
+		t.Errorf("NewHistogram(0) has %d bins, want 1", h.NumBins())
+	}
+	h.Add(3)
+	if h.Bin(0) != 1 || h.Clamped() != 1 {
+		t.Errorf("1-bin histogram: bin0=%d clamped=%d, want 1,1", h.Bin(0), h.Clamped())
+	}
+
+	// Negative densities are tallied as invalid, never recorded as mass.
+	h = NewHistogram(4)
+	h.Add(-1)
+	h.AddN(-7, 3)
+	if h.Total() != 0 || h.Invalid() != 4 {
+		t.Errorf("negative adds: total=%d invalid=%d, want 0,4", h.Total(), h.Invalid())
+	}
+
+	// Merging a deeper histogram folds its out-of-range mass into the
+	// top bin as clamped mass; a shallower one merges in place.
+	a := NewHistogram(4)
+	deep := NewHistogram(6)
+	deep.Add(5)
+	deep.Add(1)
+	a.Merge(deep)
+	if a.Bin(3) != 1 || a.Bin(1) != 1 || a.Clamped() != 1 {
+		t.Errorf("deep merge: bins=%v clamped=%d, want mass at 1 and 3, clamped 1", a.Bins(), a.Clamped())
+	}
+	shallow := NewHistogram(2)
+	shallow.Add(1)
+	a.Merge(shallow)
+	if a.Bin(1) != 2 {
+		t.Errorf("shallow merge: bin1=%d, want 2", a.Bin(1))
 	}
 }
 

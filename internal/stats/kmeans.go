@@ -1,5 +1,16 @@
 package stats
 
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadInput is wrapped by every input validation error in this
+// package, matching the ErrBadConfig convention of the auditor and
+// fault-injector packages: callers test with errors.Is and degrade
+// instead of crashing.
+var ErrBadInput = errors.New("stats: bad input")
+
 // KMeans clusters fixed-dimension float vectors with Lloyd's algorithm.
 // The recurrent-burst detector (§IV-B step 5) discretizes each quantum's
 // event-density histogram into a short string and clusters the string
@@ -9,18 +20,21 @@ package stats
 //
 // It returns the cluster assignment for each point and the final
 // centroids. k is clamped to len(points); empty input returns nils.
-func KMeans(points [][]float64, k int, maxIter int, rng *RNG) (assign []int, centroids [][]float64) {
+// Points of mixed dimensionality are an ErrBadInput: there is no
+// meaningful distance between them.
+func KMeans(points [][]float64, k int, maxIter int, rng *RNG) (assign []int, centroids [][]float64, err error) {
 	n := len(points)
 	if n == 0 || k <= 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if k > n {
 		k = n
 	}
 	dim := len(points[0])
-	for _, p := range points {
+	for i, p := range points {
 		if len(p) != dim {
-			panic("stats: KMeans points have mixed dimensions")
+			return nil, nil, fmt.Errorf("%w: KMeans point %d has dimension %d, want %d",
+				ErrBadInput, i, len(p), dim)
 		}
 	}
 	centroids = kmeansppInit(points, k, rng)
@@ -78,7 +92,7 @@ func KMeans(points [][]float64, k int, maxIter int, rng *RNG) (assign []int, cen
 			}
 		}
 	}
-	return assign, centroids
+	return assign, centroids, nil
 }
 
 // kmeansppInit chooses k starting centroids with the k-means++ weighting.

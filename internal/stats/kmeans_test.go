@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -22,7 +23,7 @@ func twoBlobs(r *RNG, n int) ([][]float64, []int) {
 func TestKMeansSeparatesBlobs(t *testing.T) {
 	r := NewRNG(17)
 	points, truth := twoBlobs(r, 50)
-	assign, centroids := KMeans(points, 2, 100, NewRNG(1))
+	assign, centroids, _ := KMeans(points, 2, 100, NewRNG(1))
 	if len(centroids) != 2 {
 		t.Fatalf("got %d centroids", len(centroids))
 	}
@@ -45,8 +46,8 @@ func TestKMeansSeparatesBlobs(t *testing.T) {
 
 func TestKMeansDeterministic(t *testing.T) {
 	points, _ := twoBlobs(NewRNG(23), 30)
-	a1, c1 := KMeans(points, 3, 50, NewRNG(5))
-	a2, c2 := KMeans(points, 3, 50, NewRNG(5))
+	a1, c1, _ := KMeans(points, 3, 50, NewRNG(5))
+	a2, c2, _ := KMeans(points, 3, 50, NewRNG(5))
 	for i := range a1 {
 		if a1[i] != a2[i] {
 			t.Fatal("same-seed KMeans produced different assignments")
@@ -62,11 +63,11 @@ func TestKMeansDeterministic(t *testing.T) {
 }
 
 func TestKMeansEdgeCases(t *testing.T) {
-	if a, c := KMeans(nil, 3, 10, nil); a != nil || c != nil {
+	if a, c, err := KMeans(nil, 3, 10, nil); a != nil || c != nil || err != nil {
 		t.Error("empty input should return nils")
 	}
 	points := [][]float64{{1}, {2}}
-	assign, centroids := KMeans(points, 5, 10, NewRNG(2))
+	assign, centroids, _ := KMeans(points, 5, 10, NewRNG(2))
 	if len(centroids) != 2 {
 		t.Errorf("k should clamp to n, got %d centroids", len(centroids))
 	}
@@ -74,19 +75,17 @@ func TestKMeansEdgeCases(t *testing.T) {
 		t.Errorf("assign length %d", len(assign))
 	}
 	// k=1 puts everything together.
-	assign, _ = KMeans(points, 1, 10, NewRNG(2))
+	assign, _, _ = KMeans(points, 1, 10, NewRNG(2))
 	if assign[0] != 0 || assign[1] != 0 {
 		t.Error("k=1 should assign all points to cluster 0")
 	}
 }
 
-func TestKMeansMixedDimensionsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("mixed dimensions should panic")
-		}
-	}()
-	KMeans([][]float64{{1, 2}, {1}}, 1, 5, NewRNG(1))
+func TestKMeansMixedDimensionsError(t *testing.T) {
+	_, _, err := KMeans([][]float64{{1, 2}, {1}}, 1, 5, NewRNG(1))
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("mixed dimensions: err = %v, want ErrBadInput", err)
+	}
 }
 
 func TestKMeansAssignmentsValid(t *testing.T) {
@@ -103,7 +102,7 @@ func TestKMeansAssignmentsValid(t *testing.T) {
 			}
 			points[i] = p
 		}
-		assign, centroids := KMeans(points, k, 30, NewRNG(seed+1))
+		assign, centroids, _ := KMeans(points, k, 30, NewRNG(seed+1))
 		if len(assign) != n {
 			return false
 		}
@@ -128,7 +127,7 @@ func TestClusterSizes(t *testing.T) {
 
 func TestSilhouetteQuality(t *testing.T) {
 	points, _ := twoBlobs(NewRNG(41), 30)
-	assign, _ := KMeans(points, 2, 50, NewRNG(3))
+	assign, _, _ := KMeans(points, 2, 50, NewRNG(3))
 	s := Silhouette(points, assign, 2)
 	if s < 0.8 {
 		t.Errorf("well-separated blobs silhouette = %v, want > 0.8", s)

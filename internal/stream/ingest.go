@@ -1,0 +1,94 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cchunter/internal/obs"
+	"cchunter/internal/trace"
+)
+
+// Ingest is a bounded hand-off queue in front of an event consumer
+// (typically a streaming Detector): producers enqueue event batches
+// without ever blocking, a single consumer goroutine delivers them in
+// order, and when the queue is full the batch is shed and counted
+// instead of stalling the producer. This is the load-shedding contract
+// of a monitoring pipeline — under overload the daemon degrades its
+// evidence base (and says so, via the shed count folding into the
+// verdict's Streaming info) rather than back-pressuring the system it
+// observes.
+//
+// Events are copied on enqueue; the producer's batch buffer is never
+// retained. Deliveries happen on the consumer goroutine, so the
+// wrapped listener needs no locking of its own as long as Ingest is
+// its only caller.
+type Ingest struct {
+	dst  trace.Listener
+	ch   chan []trace.Event
+	wg   sync.WaitGroup
+	shed atomic.Uint64
+
+	mShed *obs.Counter
+}
+
+// NewIngest starts the consumer goroutine. queueLen is the number of
+// in-flight batches the queue holds before shedding (minimum 1).
+// Call Close before reading the consumer's final state.
+func NewIngest(dst trace.Listener, queueLen int, reg *obs.Registry) *Ingest {
+	if queueLen < 1 {
+		queueLen = 1
+	}
+	in := &Ingest{
+		dst:   dst,
+		ch:    make(chan []trace.Event, queueLen),
+		mShed: reg.Counter("stream.events_shed"),
+	}
+	in.wg.Add(1)
+	go func() {
+		defer in.wg.Done()
+		batcher, batchable := dst.(trace.BatchListener)
+		for events := range in.ch {
+			if batchable {
+				batcher.OnEvents(events)
+				continue
+			}
+			for _, e := range events {
+				in.dst.OnEvent(e)
+			}
+		}
+	}()
+	return in
+}
+
+// OnEvent implements trace.Listener.
+func (in *Ingest) OnEvent(e trace.Event) {
+	in.enqueue([]trace.Event{e})
+}
+
+// OnEvents implements trace.BatchListener. The batch is copied; the
+// caller's buffer is free for reuse on return.
+func (in *Ingest) OnEvents(events []trace.Event) {
+	if len(events) == 0 {
+		return
+	}
+	in.enqueue(append([]trace.Event(nil), events...))
+}
+
+func (in *Ingest) enqueue(events []trace.Event) {
+	select {
+	case in.ch <- events:
+	default:
+		in.shed.Add(uint64(len(events)))
+		in.mShed.Add(uint64(len(events)))
+	}
+}
+
+// Close stops accepting events and blocks until every queued batch has
+// been delivered. The Ingest must not be used afterwards.
+func (in *Ingest) Close() {
+	close(in.ch)
+	in.wg.Wait()
+}
+
+// Shed reports how many events were dropped at the queue.
+func (in *Ingest) Shed() uint64 { return in.shed.Load() }

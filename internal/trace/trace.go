@@ -168,6 +168,23 @@ func (t *Train) AppendClamped(e Event) bool {
 	return clamped
 }
 
+// TrimFront discards every event with Cycle < before and returns how
+// many were dropped. The streaming detector calls it after closing an
+// observation window so a train holds O(window) events regardless of
+// run length; the surviving suffix is compacted to the front of the
+// backing array, so the arena is reused rather than regrown. Appending
+// still clamps against the (unchanged) last retained event, which keeps
+// a trimmed train's future contents identical to an untrimmed one's.
+func (t *Train) TrimFront(before uint64) int {
+	lo := searchCycle(t.events, before)
+	if lo == 0 {
+		return 0
+	}
+	n := copy(t.events, t.events[lo:])
+	t.events = t.events[:n]
+	return lo
+}
+
 // Len returns the number of events.
 func (t *Train) Len() int { return len(t.events) }
 

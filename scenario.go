@@ -1,14 +1,19 @@
 package cchunter
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"cchunter/internal/auditor"
 	"cchunter/internal/channels"
 	"cchunter/internal/core"
 	"cchunter/internal/faults"
 	"cchunter/internal/mitigate"
+	"cchunter/internal/recorder"
+	"cchunter/internal/runner"
 	"cchunter/internal/sim"
+	"cchunter/internal/stream"
 	"cchunter/internal/trace"
 	"cchunter/internal/workload"
 )
@@ -46,8 +51,13 @@ type Scenario struct {
 	// the threat model's "at least three other active processes"
 	// (default 3; set to -1 for none).
 	Background int
+	// ChannelStartQuanta delays the covert channel's first bit slot by
+	// this many OS quanta of benign-only observation — the mid-run
+	// channel-onset regime the streaming CUSUM detectors estimate.
+	ChannelStartQuanta int
 	// DurationQuanta is the observation length in OS time quanta.
-	// Default: enough quanta to cover the whole message plus one.
+	// Default: enough quanta to cover the whole message plus one,
+	// after any ChannelStartQuanta delay.
 	DurationQuanta int
 	// QuantumCycles overrides the OS time quantum (default: the
 	// paper's 0.1 s = 250M cycles at 2.5 GHz).
@@ -92,6 +102,25 @@ type Scenario struct {
 	// Detector overrides parts of the detection configuration; leave
 	// zero for paper defaults.
 	Detector *DetectorOverrides
+	// Stream runs detection in streaming mode: the auditor's buffers
+	// are drained continuously as events arrive, memory stays bounded
+	// by the observation window instead of the run length, and the
+	// final Report's verdict fields are byte-identical to the batch
+	// path. The Report additionally carries a Streaming evidence block
+	// (channel onset estimates, retention high-water marks). Trade-off:
+	// the per-quantum record and conflict-train fields of Result are
+	// consumed by the stream and come back empty or trimmed.
+	Stream bool
+	// Watchdog bounds the analysis stage's wall clock and converts an
+	// analysis panic or overrun into a degraded verdict (Report.Failure
+	// set, Confidence zero) instead of a crashed run. Zero disables
+	// supervision, leaving the run byte-identical to one without it.
+	Watchdog time.Duration
+	// FlightEvents arms the flight recorder: a ring of the last N raw
+	// events (negative = default capacity), captured into Result.Flight
+	// after the verdict for deterministic offline replay (see cctrace
+	// replay). Zero disables it.
+	FlightEvents int
 
 	// eventBatch overrides the simulator's event-delivery batch size
 	// (0 = default, 1 = per-event callbacks). Unexported: batching is
@@ -140,6 +169,9 @@ type Result struct {
 	// FaultStats holds the sensor fault injector's counters; nil when
 	// the run had a pristine sensor path (Scenario.Faults zero).
 	FaultStats *FaultStats
+	// Flight is the flight recorder's capture; nil unless
+	// Scenario.FlightEvents armed it.
+	Flight *recorder.Flight
 	// EndCycle is the simulated duration.
 	EndCycle uint64
 	// QuantumCycles echoes the quantum used.
@@ -233,7 +265,36 @@ func (sc Scenario) Run() (*Result, error) {
 		return nil, fmt.Errorf("cchunter: monitoring conflicts: %w", err)
 	}
 	aud.Instrument(sc.Metrics)
-	system.AddListener(aud)
+
+	detCfg := core.DefaultDetectorConfig(cfg.QuantumCycles, simCfg.Contexts())
+	detCfg.ObservationDivisor = cfg.ObservationDivisor
+	detCfg.Metrics = sc.Metrics
+	if o := sc.Detector; o != nil {
+		if o.LikelihoodThreshold > 0 {
+			detCfg.Burst.LikelihoodThreshold = o.LikelihoodThreshold
+		}
+		if o.PeakThreshold > 0 {
+			detCfg.Oscillation.PeakThreshold = o.PeakThreshold
+		}
+		if o.WindowQuanta > 0 {
+			detCfg.Burst.WindowQuanta = o.WindowQuanta
+		}
+	}
+
+	// Streaming mode interposes the daemon between simulator and
+	// auditor; it forwards every event and drains continuously.
+	var streamDet *stream.Detector
+	if sc.Stream {
+		streamDet = stream.New(aud, stream.Config{Detector: detCfg})
+		system.AddListener(streamDet)
+	} else {
+		system.AddListener(aud)
+	}
+	var flight *recorder.Recorder
+	if sc.FlightEvents != 0 {
+		flight = recorder.New(sc.FlightEvents)
+		system.AddListener(flight)
+	}
 	var raw *trace.Recorder
 	if cfg.RecordRaw {
 		raw = trace.NewRecorder()
@@ -282,36 +343,64 @@ func (sc Scenario) Run() (*Result, error) {
 	system.Run(end)
 	simSpan.End()
 
-	detCfg := core.DefaultDetectorConfig(cfg.QuantumCycles, simCfg.Contexts())
-	detCfg.ObservationDivisor = cfg.ObservationDivisor
-	detCfg.Metrics = sc.Metrics
 	if fs, ok := system.FaultStats(); ok {
 		// The injector self-reports its drops; fold them into every
 		// verdict's degradation diagnostics.
 		detCfg.UpstreamLossRate = fs.LossRate()
+		if streamDet != nil {
+			streamDet.SetUpstreamLoss(fs.LossRate())
+		}
 		stats := FaultStats(fs)
 		res.FaultStats = &stats
 	}
-	if o := sc.Detector; o != nil {
-		if o.LikelihoodThreshold > 0 {
-			detCfg.Burst.LikelihoodThreshold = o.LikelihoodThreshold
-		}
-		if o.PeakThreshold > 0 {
-			detCfg.Oscillation.PeakThreshold = o.PeakThreshold
-		}
-		if o.WindowQuanta > 0 {
-			detCfg.Burst.WindowQuanta = o.WindowQuanta
-		}
-	}
 	anSpan := sc.Metrics.Timer("scenario.analyze_ns").Start()
-	det := core.NewDetector(aud, detCfg)
-	res.Report = det.Analyze(end)
-	det.Release()
+	analyze := func(context.Context) (interface{}, error) {
+		if streamDet != nil {
+			return streamDet.Finalize(end), nil
+		}
+		det := core.NewDetector(aud, detCfg)
+		rep := det.Analyze(end)
+		det.Release()
+		return rep, nil
+	}
+	degraded := false
+	if sc.Watchdog > 0 {
+		// Supervised analysis: a panicking or overrunning detector
+		// yields a degraded verdict and the run still completes.
+		v, err := runner.Supervise(context.Background(), "scenario-analyze",
+			sc.Watchdog, sc.Metrics, analyze)
+		if err != nil {
+			res.Report = core.DegradedReport(err.Error())
+			degraded = true
+		} else {
+			res.Report = v.(core.Report)
+		}
+	} else {
+		v, _ := analyze(context.Background())
+		res.Report = v.(core.Report)
+	}
 	anSpan.End()
 	if sc.Metrics != nil {
 		// Re-snapshot after the analyze span closed so the attached
 		// metrics include the full stage-time picture.
 		res.Report.Metrics = sc.Metrics.Snapshot()
+	}
+	if flight != nil {
+		reason := "no-detection"
+		switch {
+		case res.Report.Failed():
+			reason = "detector-failure"
+		case res.Report.Detected:
+			reason = "detection"
+		}
+		f := flight.Capture(reason, recorder.Meta{
+			Seed:               cfg.Seed,
+			QuantumCycles:      cfg.QuantumCycles,
+			Contexts:           simCfg.Contexts(),
+			ObservationDivisor: cfg.ObservationDivisor,
+			EndCycle:           end,
+		})
+		res.Flight = &f
 	}
 
 	spyDone(res)
@@ -319,11 +408,16 @@ func (sc Scenario) Run() (*Result, error) {
 	if sc.Channel == ChannelNone {
 		res.Sent, res.Decoded, res.BitErrors = nil, nil, 0
 	}
-	res.BusHistogram = aud.MergedHistogram(trace.KindBusLock)
-	res.DivHistogram = aud.MergedHistogram(trace.KindDivContention)
-	res.BusRecords = aud.Histograms(trace.KindBusLock)
-	res.DivRecords = aud.Histograms(trace.KindDivContention)
-	res.ConflictTrain = aud.ConflictTrain()
+	if !degraded {
+		// After a watchdog abandonment the stuck analysis goroutine may
+		// still own the auditor; leave the diagnostic histogram/train
+		// fields empty rather than race it for them.
+		res.BusHistogram = aud.MergedHistogram(trace.KindBusLock)
+		res.DivHistogram = aud.MergedHistogram(trace.KindDivContention)
+		res.BusRecords = aud.Histograms(trace.KindBusLock)
+		res.DivRecords = aud.Histograms(trace.KindDivContention)
+		res.ConflictTrain = aud.ConflictTrain()
+	}
 	if raw != nil {
 		res.RawTrain = raw.Train()
 	}
@@ -336,6 +430,7 @@ type normalized struct {
 	Message            []int
 	Workloads          []string
 	Background         int
+	ChannelStartQuanta int
 	DurationQuanta     int
 	QuantumCycles      uint64
 	ObservationDivisor int
@@ -352,6 +447,7 @@ func (sc Scenario) normalize() (normalized, error) {
 		Message:            sc.Message,
 		Workloads:          sc.Workloads,
 		Background:         sc.Background,
+		ChannelStartQuanta: sc.ChannelStartQuanta,
 		DurationQuanta:     sc.DurationQuanta,
 		QuantumCycles:      sc.QuantumCycles,
 		ObservationDivisor: sc.ObservationDivisor,
@@ -393,11 +489,14 @@ func (sc Scenario) normalize() (normalized, error) {
 	if cfg.ObservationDivisor <= 0 {
 		cfg.ObservationDivisor = 1
 	}
+	if cfg.ChannelStartQuanta < 0 {
+		cfg.ChannelStartQuanta = 0
+	}
 	if cfg.DurationQuanta <= 0 {
 		clock := 2_500_000_000.0
 		slot := clock / cfg.BandwidthBPS
 		need := slot * float64(len(cfg.Message)+2)
-		cfg.DurationQuanta = int(need/float64(cfg.QuantumCycles)) + 1
+		cfg.DurationQuanta = int(need/float64(cfg.QuantumCycles)) + 1 + cfg.ChannelStartQuanta
 		if cfg.DurationQuanta < 4 {
 			cfg.DurationQuanta = 4 // recurrence needs several quanta
 		}
@@ -430,7 +529,7 @@ func (sc Scenario) spawnChannel(system *sim.System, cfg normalized, res *Result)
 	proto := channels.Protocol{
 		Message: cfg.Message,
 		BPS:     cfg.BandwidthBPS,
-		Start:   0,
+		Start:   uint64(cfg.ChannelStartQuanta) * cfg.QuantumCycles,
 		Seed:    cfg.Seed,
 		Repeat:  true,
 	}

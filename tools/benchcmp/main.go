@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchcmp -baseline BENCH_baseline.json -current BENCH_pipeline.json
-//	         [-tolerance 0.20] [-metric-tolerance 1e-6]
+//	         [-tolerance 0.20] [-alloc-tolerance 0.20] [-metric-tolerance 1e-6]
 //
 // Wall-clock comparison across machines is done through each report's
 // calibration workload: the baseline's ns are scaled by the ratio of
@@ -29,9 +29,13 @@ import (
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
 	currentPath := flag.String("current", "BENCH_pipeline.json", "freshly generated report")
-	tolerance := flag.Float64("tolerance", 0.20, "allowed relative ns/allocs regression after calibration scaling")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed relative ns regression after calibration scaling")
+	allocTol := flag.Float64("alloc-tolerance", -1, "allowed relative allocs/bytes regression (defaults to -tolerance)")
 	metricTol := flag.Float64("metric-tolerance", 1e-6, "allowed relative drift in detection metrics")
 	flag.Parse()
+	if *allocTol < 0 {
+		*allocTol = *tolerance
+	}
 
 	baseline, err := readReport(*baselinePath)
 	if err != nil {
@@ -71,11 +75,21 @@ func main() {
 		}
 		fmt.Printf("fig %-3s %-9s %12dns vs %12.0fns scaled baseline (%.2f×)\n",
 			cur.ID, status, cur.NS, scaledNS, ratio)
+		// Allocation counts and bytes are machine-independent, so no
+		// calibration scaling: they get their own tolerance.
 		if b.Allocs > 0 {
 			aRatio := float64(cur.Allocs) / float64(b.Allocs)
-			if aRatio > 1+*tolerance {
+			if aRatio > 1+*allocTol {
 				fmt.Printf("fig %-3s ALLOCS-REGRESSED %d vs %d (%.2f×)\n",
 					cur.ID, cur.Allocs, b.Allocs, aRatio)
+				failures++
+			}
+		}
+		if b.Bytes > 0 {
+			bRatio := float64(cur.Bytes) / float64(b.Bytes)
+			if bRatio > 1+*allocTol {
+				fmt.Printf("fig %-3s BYTES-REGRESSED  %d vs %d (%.2f×)\n",
+					cur.ID, cur.Bytes, b.Bytes, bRatio)
 				failures++
 			}
 		}
