@@ -1,0 +1,194 @@
+// Command cchuntd is the fleet-scale CC-Hunter daemon: it runs N
+// simulated hosts, shards their event streams into per-(host, channel)
+// streaming detectors behind bounded ingest queues, and aggregates
+// every verdict in a hub that dedupes repeats, accounts per-tenant
+// backpressure, and correlates channel signatures across hosts. Fleet
+// state and pipeline metrics are served as JSON for the daemon's
+// lifetime.
+//
+// Usage:
+//
+//	cchuntd [-hosts 8] [-streams 2] [-tenants 2] [-addr :8077]
+//	        [-epochs 0] [-epoch-quanta 32] [-interim 8]
+//	        [-queue 64] [-batch 512] [-covert-every 4] [-split-pair]
+//	        [-rate 0] [-quantum 100000] [-watchdog 30s]
+//	        [-record-dir DIR] [-seed 1] [-v]
+//
+// Endpoints (on -addr):
+//
+//	/fleet    hub state: per-stream verdicts, tenants, correlations
+//	/metrics  obs registry: counters, gauges, latency histograms
+//	/         both, as {"fleet": ..., "metrics": ...}
+//
+// The daemon runs until -epochs complete (0 = forever) or SIGINT/
+// SIGTERM, which finishes the in-flight epoch so every stream still
+// renders a final verdict, then exits 0 after printing a summary.
+// Exit 1 means the fleet saw at least one detection (script-friendly,
+// like cchunt); exit 2 is a usage error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"cchunter/internal/fleet"
+	"cchunter/internal/obs"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 8, "simulated hosts in the fleet")
+	streams := flag.Int("streams", 2, "detection streams per host")
+	tenants := flag.Int("tenants", 2, "tenants hosts are assigned to, round-robin")
+	addr := flag.String("addr", ":8077", "serve fleet state and metrics as JSON on this address")
+	epochs := flag.Int("epochs", 0, "detection epochs to run (0 = until SIGTERM)")
+	epochQuanta := flag.Int("epoch-quanta", 32, "OS quanta per detection epoch")
+	interim := flag.Int("interim", 8, "submit interim verdicts every N quanta (0 = finals only)")
+	queue := flag.Int("queue", 64, "per-stream ingest queue capacity in batches")
+	batch := flag.Int("batch", 512, "events per ingest batch")
+	covertEvery := flag.Int("covert-every", 4, "plant a covert source on every Nth stream (0 = none)")
+	splitPair := flag.Bool("split-pair", false, "plant a cross-host sender/receiver pair (exercises hub correlation)")
+	rate := flag.Float64("rate", 0, "pace each stream to ~this many events/sec of wall clock (0 = full speed)")
+	quantum := flag.Uint64("quantum", 100_000, "OS time quantum in simulated cycles")
+	watchdog := flag.Duration("watchdog", 30*time.Second, "per-shard finalize watchdog; overrun/panic degrades the verdict (0 = off)")
+	recordDir := flag.String("record-dir", "", "write a flight capture per detection into this directory (for cctrace replay)")
+	seed := flag.Uint64("seed", 1, "fleet random seed")
+	verbose := flag.Bool("v", false, "log per-epoch fleet summaries to stderr")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	cfg := fleet.Config{
+		Hosts:          *hosts,
+		StreamsPerHost: *streams,
+		Tenants:        *tenants,
+		Quantum:        *quantum,
+		EpochQuanta:    *epochQuanta,
+		InterimEvery:   *interim,
+		QueueLen:       *queue,
+		BatchEvents:    *batch,
+		CovertEvery:    *covertEvery,
+		SplitPair:      *splitPair,
+		Seed:           *seed,
+		Watchdog:       *watchdog,
+		RatePerStream:  *rate,
+		Metrics:        reg,
+	}
+	if *recordDir != "" {
+		if err := os.MkdirAll(*recordDir, 0o755); err != nil {
+			usageError("bad -record-dir: %v", err)
+		}
+		cfg.FlightEvents = -1
+	}
+	f, err := fleet.New(cfg)
+	if err != nil {
+		usageError("%v", err)
+	}
+
+	if *addr != "" {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			usageError("bad -addr: %v", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/fleet", f.Hub().Handler())
+		mux.Handle("/metrics", obs.Handler(reg))
+		mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(map[string]interface{}{
+				"fleet":   f.Hub().State(),
+				"metrics": reg.Snapshot(),
+			})
+		})
+		fmt.Fprintf(os.Stderr, "cchuntd: serving http://%s/fleet (%d hosts, %d streams, %d tenants)\n",
+			ln.Addr(), *hosts, *hosts**streams, cfg.Tenants)
+		go func() { _ = http.Serve(ln, mux) }()
+	}
+
+	// SIGINT/SIGTERM cancel the run context; the fleet finishes its
+	// in-flight epoch (so every stream renders a final verdict) and
+	// Run returns.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *verbose {
+		done := make(chan struct{})
+		defer close(done)
+		go logLoop(f, done)
+	}
+
+	start := time.Now()
+	_ = f.Run(ctx, *epochs)
+	elapsed := time.Since(start)
+
+	if *recordDir != "" {
+		for i, cf := range f.Flights() {
+			name := fmt.Sprintf("flight-%03d-%s-%s.json", i, cf.Key.Host, cf.Key.Channel)
+			path := filepath.Join(*recordDir, name)
+			if err := cf.Flight.WriteFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "cchuntd:", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "cchuntd: flight %s (%d events, shed %d) -> %s\n",
+				cf.Key, len(cf.Flight.Events), cf.Flight.Meta.EventsShed, path)
+		}
+	}
+
+	st := f.Hub().State()
+	var produced, shed uint64
+	for _, t := range st.Tenants {
+		produced += t.Produced
+		shed += t.Shed
+	}
+	fmt.Printf("fleet: %d streams, %d final verdicts (%d deduped, %d stale), %d detected, %d correlated\n",
+		len(st.Streams), st.Finals, st.Deduped, st.Stale, st.DetectedStreams, len(st.Correlations))
+	fmt.Printf("events: %d produced, %d shed (%.2f%%), %.0f events/sec over %v\n",
+		produced, shed, 100*safeDiv(float64(shed), float64(produced)),
+		safeDiv(float64(produced-shed), elapsed.Seconds()), elapsed.Round(time.Millisecond))
+	for _, c := range st.Correlations {
+		fmt.Printf("correlated: %s across %s and %s (lag %d ±%d, onset gap %d)\n",
+			c.Channel, c.Keys[0].Host, c.Keys[1].Host, c.PeakLag, c.LagDelta, c.OnsetGap)
+	}
+	if st.DetectedStreams > 0 {
+		os.Exit(1)
+	}
+}
+
+// logLoop prints a one-line fleet summary every 2 seconds until done.
+func logLoop(f *fleet.Fleet, done chan struct{}) {
+	tick := time.NewTicker(2 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			st := f.Hub().State()
+			fmt.Fprintf(os.Stderr, "cchuntd: finals=%d deduped=%d detected=%d correlations=%d\n",
+				st.Finals, st.Deduped, st.DetectedStreams, len(st.Correlations))
+		}
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cchuntd: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}

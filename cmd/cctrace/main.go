@@ -119,6 +119,9 @@ func replayMain(args []string) {
 	if f.Truncated {
 		fmt.Fprintf(os.Stderr, "cctrace: flight is truncated (%d events dropped before capture); replaying the recorded suffix\n", f.Dropped)
 	}
+	if f.Meta.EventsShed > 0 {
+		fmt.Fprintf(os.Stderr, "cctrace: live run shed %d events at its ingest queue; the replayed verdict rests on the same reduced evidence base\n", f.Meta.EventsShed)
+	}
 	replay := cchunter.ReplayFlight
 	if *streamMode {
 		replay = cchunter.ReplayFlightStreaming

@@ -1,0 +1,130 @@
+package fleet
+
+import "sort"
+
+// Cross-host correlation: the scenario the paper's single-machine
+// auditor could never see. Under cloud co-residency churn, a covert
+// pair's sender and receiver can land on *different* monitored hosts
+// (Ge et al.; Yao et al., PAPERS.md) — each host's own verdict then
+// shows one half of a channel, and only a hub holding fleet-wide state
+// can notice that two hosts exhibit the same channel signature at the
+// same time.
+//
+// The signature is deliberately coarse: for cache channels, the
+// oscillation verdict's fundamental peak lag (≈ the cache-set count
+// the pair primes, an implementation fingerprint that survives host
+// migration); for contention channels, the channel family plus the
+// CUSUM onset estimate (two hosts starting the same kind of burst
+// pattern near-simultaneously). Coarse signatures trade precision for
+// recall — the hub flags candidates, the flight recorder provides the
+// evidence for triage (docs/OPERATIONS.md has the runbook).
+
+// lagTolerance is the relative peak-lag slack two hosts may differ by
+// and still correlate: interleaved noise shifts the measured lag a few
+// percent around the primed set count (the paper's 533 vs 512).
+const lagTolerance = 0.1
+
+// onsetWindowCycles is how close two contention-channel onsets must be
+// to correlate when both hosts report one.
+const onsetWindowCycles = 1 << 22 // ~1.7ms at 2.5GHz, tens of quanta at fleet clock
+
+// Correlation is one cross-host channel-signature match.
+type Correlation struct {
+	// Channel is the matched channel family (the shard keys' channel).
+	Channel string `json:"channel"`
+	// Keys are the matched streams, sorted; always on ≥2 distinct
+	// hosts.
+	Keys []Key `json:"keys"`
+	// PeakLag is the shared oscillation lag for cache matches (0 for
+	// onset-only matches).
+	PeakLag int `json:"peakLag,omitempty"`
+	// LagDelta is the matched lags' spread.
+	LagDelta int `json:"lagDelta,omitempty"`
+	// OnsetGap is the matched onset estimates' spread in cycles.
+	OnsetGap uint64 `json:"onsetGap,omitempty"`
+}
+
+// correlateLocked scans current stream states for cross-host pairs.
+// Caller holds the hub lock. O(n²) over *detected* streams only —
+// detections are the rare case, and the scan runs lazily per snapshot,
+// not per update.
+func correlateLocked(streams map[Key]*StreamState) []Correlation {
+	detected := make([]*StreamState, 0, 8)
+	for _, st := range streams {
+		if st.Detected && st.Failure == "" {
+			detected = append(detected, st)
+		}
+	}
+	sort.Slice(detected, func(i, j int) bool { return keyLess(detected[i].Key, detected[j].Key) })
+	var out []Correlation
+	for i := 0; i < len(detected); i++ {
+		for j := i + 1; j < len(detected); j++ {
+			a, b := detected[i], detected[j]
+			if a.Key.Host == b.Key.Host {
+				continue
+			}
+			if c, ok := match(a, b); ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// match decides whether two detected streams on different hosts share
+// a channel signature.
+func match(a, b *StreamState) (Correlation, bool) {
+	// Cache channels: peak lags within tolerance of each other.
+	if a.PeakLag > 0 && b.PeakLag > 0 {
+		hi := a.PeakLag
+		if b.PeakLag > hi {
+			hi = b.PeakLag
+		}
+		delta := a.PeakLag - b.PeakLag
+		if delta < 0 {
+			delta = -delta
+		}
+		tol := int(lagTolerance * float64(hi))
+		if tol < 2 {
+			tol = 2
+		}
+		if delta <= tol {
+			return Correlation{
+				Channel:  a.Key.Channel,
+				Keys:     []Key{a.Key, b.Key},
+				PeakLag:  hi,
+				LagDelta: delta,
+			}, true
+		}
+		return Correlation{}, false
+	}
+	// Contention channels: same family, both with onset estimates that
+	// land inside one window.
+	if a.Key.Channel == b.Key.Channel && a.OnsetCycle > 0 && b.OnsetCycle > 0 {
+		gap := a.OnsetCycle - b.OnsetCycle
+		if b.OnsetCycle > a.OnsetCycle {
+			gap = b.OnsetCycle - a.OnsetCycle
+		}
+		if gap <= onsetWindowCycles {
+			return Correlation{
+				Channel:  a.Key.Channel,
+				Keys:     []Key{a.Key, b.Key},
+				OnsetGap: gap,
+			}, true
+		}
+	}
+	return Correlation{}, false
+}
+
+func keyLess(a, b Key) bool {
+	if a.Host != b.Host {
+		return a.Host < b.Host
+	}
+	if a.Tenant != b.Tenant {
+		return a.Tenant < b.Tenant
+	}
+	if a.Stream != b.Stream {
+		return a.Stream < b.Stream
+	}
+	return a.Channel < b.Channel
+}

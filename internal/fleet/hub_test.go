@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cchunter/internal/core"
+	"cchunter/internal/obs"
+	"cchunter/internal/trace"
+)
+
+func testKey(host, tenant string, stream int, channel string) Key {
+	return Key{Host: host, Tenant: tenant, Stream: stream, Channel: channel}
+}
+
+// detectedReport builds a distinct detected verdict; vary lr to vary
+// the fingerprint.
+func detectedReport(lr float64) core.Report {
+	return core.Report{
+		Detected:   true,
+		Confidence: 1,
+		Contention: []core.ContentionVerdict{{
+			Kind:     trace.KindBusLock,
+			Analysis: core.BurstAnalysis{Detected: true, LikelihoodRatio: lr},
+		}},
+	}
+}
+
+func cleanReport() core.Report {
+	return core.Report{Confidence: 1}
+}
+
+func TestHubStaleAndOrdering(t *testing.T) {
+	h := NewHub(nil)
+	k := testKey("host-000", "tenant-00", 0, "bus")
+
+	if !h.Submit(Update{Key: k, Seq: 2, Report: detectedReport(9)}) {
+		t.Fatal("first submission rejected")
+	}
+	// An older interim arriving late must not overwrite the newer state.
+	if h.Submit(Update{Key: k, Seq: 1, Report: cleanReport()}) {
+		t.Error("stale submission applied")
+	}
+	st := h.State()
+	if len(st.Streams) != 1 {
+		t.Fatalf("streams = %d, want 1", len(st.Streams))
+	}
+	if !st.Streams[0].Detected {
+		t.Error("stale clean verdict overwrote the newer detection")
+	}
+	if st.Streams[0].Stale != 1 || st.Stale != 1 {
+		t.Errorf("stale counts = %d/%d, want 1/1", st.Streams[0].Stale, st.Stale)
+	}
+	// Equal Seq is stale too: each submission must carry a fresh cursor.
+	if h.Submit(Update{Key: k, Seq: 2, Report: detectedReport(11)}) {
+		t.Error("equal-Seq submission applied")
+	}
+}
+
+func TestHubDedupe(t *testing.T) {
+	h := NewHub(nil)
+	k := testKey("host-000", "tenant-00", 0, "bus")
+
+	if !h.Submit(Update{Key: k, Seq: 1, Report: detectedReport(9)}) {
+		t.Fatal("first submission rejected")
+	}
+	// The identical verdict again: dropped as a repeat, but the Seq
+	// cursor still advances so a later real change is not mistaken for
+	// stale.
+	if h.Submit(Update{Key: k, Seq: 2, Report: detectedReport(9)}) {
+		t.Error("identical repeat verdict applied")
+	}
+	st := h.State()
+	if st.Streams[0].Seq != 2 {
+		t.Errorf("Seq = %d after dedupe, want 2 (cursor must advance)", st.Streams[0].Seq)
+	}
+	if st.Streams[0].Deduped != 1 || st.Deduped != 1 {
+		t.Errorf("dedupe counts = %d/%d, want 1/1", st.Streams[0].Deduped, st.Deduped)
+	}
+	// A changed verdict with the next Seq applies.
+	if !h.Submit(Update{Key: k, Seq: 3, Report: detectedReport(12)}) {
+		t.Error("changed verdict deduplicated")
+	}
+	// The same verdict but with different finality is NOT a repeat: an
+	// interim preview hardening into a final verdict is a state change.
+	if !h.Submit(Update{Key: k, Seq: 4, Final: true, Report: detectedReport(12)}) {
+		t.Error("interim→final transition deduplicated")
+	}
+	st = h.State()
+	if st.Streams[0].Updates != 3 {
+		t.Errorf("applied updates = %d, want 3", st.Streams[0].Updates)
+	}
+	if st.Finals != 1 || st.Streams[0].FinalEpochs != 1 || st.Streams[0].DetectedEpochs != 1 {
+		t.Errorf("finals=%d finalEpochs=%d detectedEpochs=%d, want 1/1/1",
+			st.Finals, st.Streams[0].FinalEpochs, st.Streams[0].DetectedEpochs)
+	}
+}
+
+func TestHubFingerprintSensitivity(t *testing.T) {
+	base := detectedReport(9)
+
+	mutations := map[string]func(r core.Report) core.Report{
+		"confidence": func(r core.Report) core.Report { r.Confidence = 0.5; return r },
+		"failure":    func(r core.Report) core.Report { r.Failure = "watchdog"; return r },
+		"likelihood": func(r core.Report) core.Report { r.Contention[0].Analysis.LikelihoodRatio = 10; return r },
+		"shed": func(r core.Report) core.Report {
+			r.Streaming = &core.StreamingInfo{EventsShed: 3}
+			return r
+		},
+		"oscillation": func(r core.Report) core.Report {
+			r.Oscillation = &core.OscillationVerdict{Detected: true}
+			return r
+		},
+	}
+	for name, mutate := range mutations {
+		r := base
+		r.Contention = append([]core.ContentionVerdict(nil), base.Contention...)
+		if fingerprint(mutate(r)) == fingerprint(base) {
+			t.Errorf("%s mutation not reflected in fingerprint — hub would dedupe a changed verdict", name)
+		}
+	}
+	// And the identity case: metrics snapshots must NOT perturb it.
+	withMetrics := base
+	withMetrics.Metrics = &obs.Snapshot{}
+	if fingerprint(withMetrics) != fingerprint(base) {
+		t.Error("metrics snapshot changed the fingerprint — observability would defeat dedupe")
+	}
+}
+
+func TestHubTenantAccountingAcrossHosts(t *testing.T) {
+	h := NewHub(nil)
+	h.register(testKey("host-000", "tenant-00", 0, "bus"))
+	h.register(testKey("host-002", "tenant-00", 0, "bus"))
+
+	// Two hosts of the same tenant report lifetime totals; the tenant
+	// row is their sum, and a host re-reporting replaces its own
+	// contribution instead of double-counting.
+	h.accountHost("host-000", "tenant-00", 100, 10, 1)
+	h.accountHost("host-002", "tenant-00", 50, 5, 2)
+	h.accountHost("host-000", "tenant-00", 200, 20, 0)
+
+	st := h.State()
+	ten := st.Tenants["tenant-00"]
+	if ten.Produced != 250 || ten.Shed != 25 || ten.Backlog != 2 {
+		t.Errorf("tenant totals = produced %d shed %d backlog %d, want 250/25/2",
+			ten.Produced, ten.Shed, ten.Backlog)
+	}
+	if ten.Streams != 2 {
+		t.Errorf("tenant streams = %d, want 2", ten.Streams)
+	}
+}
+
+func TestHubStateSortedAndSerializable(t *testing.T) {
+	h := NewHub(nil)
+	keys := []Key{
+		testKey("host-001", "tenant-01", 1, "cache"),
+		testKey("host-000", "tenant-00", 1, "benign"),
+		testKey("host-001", "tenant-01", 0, "bus"),
+		testKey("host-000", "tenant-00", 0, "benign"),
+	}
+	for i, k := range keys {
+		h.Submit(Update{Key: k, Seq: 1, Report: detectedReport(float64(i + 2))})
+	}
+	st := h.State()
+	for i := 1; i < len(st.Streams); i++ {
+		if !keyLess(st.Streams[i-1].Key, st.Streams[i].Key) {
+			t.Fatalf("streams not sorted at %d: %s !< %s",
+				i, st.Streams[i-1].Key, st.Streams[i].Key)
+		}
+	}
+	// Two serializations of the same state must be byte-identical —
+	// the JSON endpoint is diffed by scrapers.
+	a, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(h.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("repeated State() snapshots serialize differently")
+	}
+}
+
+func TestHubCorrelationCacheInvalidation(t *testing.T) {
+	h := NewHub(nil)
+	a := testKey("host-000", "tenant-00", 0, "cache")
+	b := testKey("host-001", "tenant-01", 0, "cache")
+	osc := func(lag int) core.Report {
+		return core.Report{
+			Detected:   true,
+			Confidence: 1,
+			Oscillation: &core.OscillationVerdict{
+				Detected: true,
+				Best:     core.OscillationAnalysis{Detected: true, FundamentalLag: lag, PeakValue: 0.9},
+			},
+		}
+	}
+	h.Submit(Update{Key: a, Seq: 1, Report: osc(512)})
+	if got := h.State().Correlations; len(got) != 0 {
+		t.Fatalf("one-host correlation: %v", got)
+	}
+	// The matching signature on a second host must surface on the next
+	// snapshot: Submit invalidates the lazy correlation cache.
+	h.Submit(Update{Key: b, Seq: 1, Report: osc(530)})
+	got := h.State().Correlations
+	if len(got) != 1 {
+		t.Fatalf("correlations = %d, want 1", len(got))
+	}
+	if got[0].Channel != "cache" || got[0].PeakLag != 530 || got[0].LagDelta != 18 {
+		t.Errorf("correlation = %+v, want cache lag 530 ±18", got[0])
+	}
+	// Far-apart lags must not correlate.
+	h.Submit(Update{Key: b, Seq: 2, Report: osc(1024)})
+	if got := h.State().Correlations; len(got) != 0 {
+		t.Errorf("disjoint lags correlated: %+v", got)
+	}
+}

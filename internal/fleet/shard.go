@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cchunter/internal/auditor"
+	"cchunter/internal/core"
+	"cchunter/internal/obs"
+	"cchunter/internal/recorder"
+	"cchunter/internal/runner"
+	"cchunter/internal/stream"
+	"cchunter/internal/trace"
+)
+
+// Key identifies one detection shard: the monitored host, the tenant
+// that owns it, the host-local stream index, and the channel family its
+// traffic exercises. Stream keeps two same-channel streams on one host
+// distinct at the hub (their Seq cursors must never collide).
+type Key struct {
+	Host    string `json:"host"`
+	Tenant  string `json:"tenant"`
+	Stream  int    `json:"stream"`
+	Channel string `json:"channel"`
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/s%d/%s", k.Host, k.Tenant, k.Stream, k.Channel)
+}
+
+// shardConfig carries the per-stream construction knobs.
+type shardConfig struct {
+	Quantum      uint64
+	Contexts     int
+	QueueLen     int
+	FlightEvents int
+	Watchdog     time.Duration
+	Metrics      *obs.Registry
+	Wrap         func(Key, trace.Listener) trace.Listener
+}
+
+// CapturedFlight pairs a shard's flight capture with its key, for the
+// daemon's -record-dir dump.
+type CapturedFlight struct {
+	Key    Key
+	Flight recorder.Flight
+}
+
+// shard is one (host, channel) detection stream: a seeded source, a
+// bounded ingest queue, and a streaming detector that renders one
+// verdict per epoch. The producer side (pumpQuantum) runs on the host
+// goroutine; the detector runs on the ingest's consumer goroutine
+// until the epoch closes, after which the host goroutine owns it
+// again (Close is the hand-off barrier).
+type shard struct {
+	key Key
+	cfg shardConfig
+	src *source
+
+	det   *stream.Detector
+	in    *stream.Ingest
+	rec   *recorder.Recorder
+	epoch int
+	seq   uint64
+	batch []trace.Event
+	gen   []trace.Event
+
+	produced          uint64
+	shedTotal         uint64
+	lastQuantumEvents uint64
+	endCycle          uint64
+
+	flights []CapturedFlight
+}
+
+func newShard(key Key, cfg shardConfig) (*shard, error) {
+	if cfg.Quantum == 0 {
+		return nil, fmt.Errorf("fleet: shard %s needs a quantum", key)
+	}
+	if cfg.Contexts <= 0 {
+		cfg.Contexts = defaultContexts
+	}
+	return &shard{key: key, cfg: cfg}, nil
+}
+
+// buildDetector wires a fresh auditor + streaming detector, exactly as
+// a solo run does — which is what keeps fleet verdicts byte-identical
+// to single-host ones for identical trains.
+func buildDetector(quantum uint64, contexts int) (*stream.Detector, error) {
+	aud, err := auditor.New(auditor.DefaultConfig(quantum))
+	if err != nil {
+		return nil, err
+	}
+	if err := aud.Monitor(trace.KindBusLock, core.DeltaTBus); err != nil {
+		return nil, err
+	}
+	if err := aud.Monitor(trace.KindDivContention, core.DeltaTDivider); err != nil {
+		return nil, err
+	}
+	if err := aud.MonitorConflicts(); err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultDetectorConfig(quantum, contexts)
+	return stream.New(aud, stream.Config{Detector: cfg}), nil
+}
+
+// beginEpoch resets the source and stands up a fresh detector behind a
+// fresh ingest queue.
+func (s *shard) beginEpoch(epoch int) {
+	s.epoch = epoch
+	s.endCycle = 0
+	s.src.reset(epoch)
+	det, err := buildDetector(s.cfg.Quantum, s.cfg.Contexts)
+	if err != nil {
+		// Construction can only fail on bad static config, which New
+		// validated; a failure here is a bug worth crashing on.
+		panic(fmt.Sprintf("fleet: rebuilding %s: %v", s.key, err))
+	}
+	s.det = det
+	var dst trace.Listener = det
+	if s.cfg.FlightEvents != 0 {
+		s.rec = recorder.New(s.cfg.FlightEvents)
+		dst = tee{det, s.rec}
+	} else {
+		s.rec = nil
+	}
+	if s.cfg.Wrap != nil {
+		dst = s.cfg.Wrap(s.key, dst)
+	}
+	s.in = stream.NewIngest(dst, s.cfg.QueueLen, s.cfg.Metrics)
+}
+
+// pumpQuantum generates one quantum of source events and enqueues them
+// in BatchEvents-sized batches.
+func (s *shard) pumpQuantum(batchEvents int) {
+	s.gen = s.src.genQuantum(s.gen[:0])
+	s.lastQuantumEvents = uint64(len(s.gen))
+	s.produced += uint64(len(s.gen))
+	for i := 0; i < len(s.gen); i += batchEvents {
+		j := i + batchEvents
+		if j > len(s.gen) {
+			j = len(s.gen)
+		}
+		s.in.OnEvents(s.gen[i:j])
+	}
+	s.endCycle = s.src.quantum0
+}
+
+// interim submits a mid-epoch verdict. The analysis runs on the
+// ingest's consumer goroutine (Do), after every batch queued so far —
+// an ordered quiesce point, so it never races event delivery.
+func (s *shard) interim(hub *Hub) {
+	cycle := s.endCycle
+	key, epoch := s.key, s.epoch
+	det := s.det
+	seq := s.nextSeq()
+	s.in.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				hub.Submit(Update{
+					Key: key, Seq: seq, Epoch: epoch,
+					Report: core.DegradedReport(fmt.Sprintf("interim panic: %v", r)),
+				})
+			}
+		}()
+		rep := det.Interim(cycle)
+		hub.Submit(Update{Key: key, Seq: seq, Epoch: epoch, Cycle: cycle, Report: rep})
+	})
+}
+
+// finalizeEpoch closes the queue (draining it), reclaims the detector,
+// and renders the epoch's final verdict under the watchdog. The shed
+// count is folded into the verdict and, when a flight is captured,
+// into its replay metadata.
+func (s *shard) finalizeEpoch(hub *Hub) {
+	s.in.Close()
+	shed := s.in.Shed()
+	s.shedTotal += shed
+	s.det.SetShed(shed)
+	end := s.endCycle
+
+	det := s.det
+	v, err := runner.Supervise(context.Background(), s.key.String(),
+		s.cfg.Watchdog, s.cfg.Metrics, func(context.Context) (interface{}, error) {
+			return det.Finalize(end), nil
+		})
+	var rep core.Report
+	if err != nil {
+		rep = core.DegradedReport(err.Error())
+	} else {
+		rep = v.(core.Report)
+	}
+	hub.Submit(Update{
+		Key: s.key, Seq: s.nextSeq(), Epoch: s.epoch,
+		Cycle: end, Final: true, Report: rep,
+	})
+	if s.rec != nil && rep.Detected {
+		f := s.rec.Capture("detection", recorder.Meta{
+			Seed:               s.src.seed,
+			QuantumCycles:      s.cfg.Quantum,
+			Contexts:           s.cfg.Contexts,
+			ObservationDivisor: 1,
+			EndCycle:           end,
+			EventsShed:         shed,
+		})
+		s.flights = append(s.flights, CapturedFlight{Key: s.key, Flight: f})
+	}
+	s.det, s.in = nil, nil
+}
+
+// takeFlights drains the shard's captured flights.
+func (s *shard) takeFlights() []CapturedFlight {
+	out := s.flights
+	s.flights = nil
+	return out
+}
+
+func (s *shard) nextSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
+// tee fans one event stream out to two listeners in order — the
+// detector and the flight recorder see identical trains.
+type tee struct {
+	a, b trace.Listener
+}
+
+func (t tee) OnEvent(e trace.Event) {
+	t.a.OnEvent(e)
+	t.b.OnEvent(e)
+}
+
+func (t tee) OnEvents(events []trace.Event) {
+	trace.Deliver(t.a, events)
+	trace.Deliver(t.b, events)
+}

@@ -31,6 +31,12 @@ type Meta struct {
 	ObservationDivisor int `json:"observationDivisor"`
 	// EndCycle is the simulated cycle the verdict was rendered at.
 	EndCycle uint64 `json:"endCycle"`
+	// EventsShed counts events the live run's bounded ingest queue
+	// dropped before they reached the detector (and therefore before
+	// they could reach this recorder). A replay of such a flight is
+	// working from the same degraded evidence base the live verdict
+	// was, and reports the count instead of silently diverging.
+	EventsShed uint64 `json:"eventsShed,omitempty"`
 }
 
 // Flight is one serialized capture.

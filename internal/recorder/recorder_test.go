@@ -151,3 +151,52 @@ func TestReplayDeterministic(t *testing.T) {
 		t.Errorf("empty flight replay failed: %v", err)
 	}
 }
+
+// TestReplayCarriesShedCount pins that a flight recorded under load
+// shedding replays with the live run's shed count in its verdict: the
+// replayed report must state the same reduced evidence base the live
+// one did, and the count must survive the file round-trip.
+func TestReplayCarriesShedCount(t *testing.T) {
+	r := New(0)
+	var cycle uint64
+	for i := 0; i < 200; i++ {
+		cycle += 1_000
+		r.OnEvent(trace.Event{Cycle: cycle, Kind: trace.KindBusLock})
+	}
+	f := r.Capture("detection", Meta{
+		QuantumCycles: 100_000, Contexts: 4, ObservationDivisor: 1,
+		EndCycle: cycle + 1, EventsShed: 37,
+	})
+
+	path := filepath.Join(t.TempDir(), "shed.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.EventsShed != 37 {
+		t.Fatalf("EventsShed lost in round-trip: %d", got.Meta.EventsShed)
+	}
+
+	rep, err := ReplayStreaming(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Streaming == nil || rep.Streaming.EventsShed != 37 {
+		t.Errorf("replayed verdict does not carry the live shed count: %+v", rep.Streaming)
+	}
+
+	// A clean flight's replay must not invent one.
+	clean := r.Capture("detection", Meta{
+		QuantumCycles: 100_000, Contexts: 4, ObservationDivisor: 1, EndCycle: cycle + 1,
+	})
+	repClean, err := ReplayStreaming(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repClean.Streaming != nil && repClean.Streaming.EventsShed != 0 {
+		t.Errorf("clean replay invented shed events: %d", repClean.Streaming.EventsShed)
+	}
+}

@@ -67,6 +67,11 @@ func ReplayStreaming(f Flight) (core.Report, error) {
 		return core.Report{}, err
 	}
 	det := stream.New(aud, stream.Config{Detector: cfg})
+	// The live run's ingest queue shed these events before anything —
+	// detector or recorder — saw them. Fold the count into the replayed
+	// verdict's Streaming block so live and replayed reports agree on
+	// how much evidence the verdict rests on.
+	det.SetShed(f.Meta.EventsShed)
 	det.OnEvents(f.Events)
 	return det.Finalize(end), nil
 }

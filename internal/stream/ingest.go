@@ -18,17 +18,26 @@ import (
 // verdict's Streaming info) rather than back-pressuring the system it
 // observes.
 //
-// Events are copied on enqueue; the producer's batch buffer is never
-// retained. Deliveries happen on the consumer goroutine, so the
-// wrapped listener needs no locking of its own as long as Ingest is
-// its only caller.
+// Events are copied on enqueue into a recycled buffer; the producer's
+// batch buffer is never retained, and delivered buffers return to an
+// internal pool, so steady-state ingestion allocates nothing.
+// Deliveries happen on the consumer goroutine, so the wrapped listener
+// needs no locking of its own as long as Ingest is its only caller.
 type Ingest struct {
 	dst  trace.Listener
-	ch   chan []trace.Event
+	ch   chan item
 	wg   sync.WaitGroup
+	bufs sync.Pool
 	shed atomic.Uint64
 
 	mShed *obs.Counter
+}
+
+// item is one queue entry: an event batch, or a control function to
+// run in order on the consumer goroutine (see Do).
+type item struct {
+	events []trace.Event
+	fn     func()
 }
 
 // NewIngest starts the consumer goroutine. queueLen is the number of
@@ -40,21 +49,27 @@ func NewIngest(dst trace.Listener, queueLen int, reg *obs.Registry) *Ingest {
 	}
 	in := &Ingest{
 		dst:   dst,
-		ch:    make(chan []trace.Event, queueLen),
+		ch:    make(chan item, queueLen),
 		mShed: reg.Counter("stream.events_shed"),
 	}
+	in.bufs.New = func() any { b := make([]trace.Event, 0, trace.DefaultBatchSize); return &b }
 	in.wg.Add(1)
 	go func() {
 		defer in.wg.Done()
 		batcher, batchable := dst.(trace.BatchListener)
-		for events := range in.ch {
-			if batchable {
-				batcher.OnEvents(events)
+		for it := range in.ch {
+			if it.fn != nil {
+				it.fn()
 				continue
 			}
-			for _, e := range events {
-				in.dst.OnEvent(e)
+			if batchable {
+				batcher.OnEvents(it.events)
+			} else {
+				for _, e := range it.events {
+					in.dst.OnEvent(e)
+				}
 			}
+			in.recycle(it.events)
 		}
 	}()
 	return in
@@ -62,7 +77,8 @@ func NewIngest(dst trace.Listener, queueLen int, reg *obs.Registry) *Ingest {
 
 // OnEvent implements trace.Listener.
 func (in *Ingest) OnEvent(e trace.Event) {
-	in.enqueue([]trace.Event{e})
+	buf := in.borrow(1)
+	in.enqueue(append(buf, e))
 }
 
 // OnEvents implements trace.BatchListener. The batch is copied; the
@@ -71,15 +87,58 @@ func (in *Ingest) OnEvents(events []trace.Event) {
 	if len(events) == 0 {
 		return
 	}
-	in.enqueue(append([]trace.Event(nil), events...))
+	buf := in.borrow(len(events))
+	in.enqueue(append(buf, events...))
 }
+
+// Do enqueues fn behind every batch already queued and runs it on the
+// consumer goroutine — an ordered quiesce point. Unlike event batches,
+// control operations are never shed: Do blocks until the queue has
+// room (the caller accepts back-pressure on control, which is rare and
+// must not be lost). fn runs with exclusive access to the consumer's
+// state; a long fn delays subsequent deliveries. Must not be called
+// after Close.
+func (in *Ingest) Do(fn func()) {
+	if fn == nil {
+		return
+	}
+	in.ch <- item{fn: fn}
+}
+
+// borrow takes a zero-length buffer with at least capacity n from the
+// recycling pool.
+func (in *Ingest) borrow(n int) []trace.Event {
+	p := in.bufs.Get().(*[]trace.Event)
+	buf := (*p)[:0]
+	if cap(buf) < n {
+		buf = make([]trace.Event, 0, n)
+	}
+	*p = nil
+	bufPtrPool.Put(p)
+	return buf
+}
+
+// recycle returns a delivered buffer to the pool.
+func (in *Ingest) recycle(buf []trace.Event) {
+	p, _ := bufPtrPool.Get().(*[]trace.Event)
+	if p == nil {
+		p = new([]trace.Event)
+	}
+	*p = buf
+	in.bufs.Put(p)
+}
+
+// bufPtrPool recycles the *[]trace.Event boxes themselves so borrow
+// and recycle do not allocate a pointer per batch.
+var bufPtrPool sync.Pool
 
 func (in *Ingest) enqueue(events []trace.Event) {
 	select {
-	case in.ch <- events:
+	case in.ch <- item{events: events}:
 	default:
 		in.shed.Add(uint64(len(events)))
 		in.mShed.Add(uint64(len(events)))
+		in.recycle(events)
 	}
 }
 
@@ -92,3 +151,7 @@ func (in *Ingest) Close() {
 
 // Shed reports how many events were dropped at the queue.
 func (in *Ingest) Shed() uint64 { return in.shed.Load() }
+
+// Pending reports how many queue entries (batches and control ops)
+// currently await the consumer — the backpressure depth gauge.
+func (in *Ingest) Pending() int { return len(in.ch) }
