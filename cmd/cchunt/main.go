@@ -51,6 +51,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	metricsAddr := flag.String("metrics-addr", "", "serve live pipeline metrics as JSON on this address (e.g. :8080) for the duration of the run")
 	streamMode := flag.Bool("stream", false, "streaming bounded-memory detection (verdict identical; adds onset estimates)")
+	pipelined := flag.Bool("pipelined", false, "pipeline event delivery to the auditor through an SPSC ring on its own goroutine (verdict byte-identical)")
 	watchdog := flag.Duration("watchdog", 0, "analysis watchdog timeout; overrun or panic yields a degraded verdict (0 = off)")
 	record := flag.String("record", "", "write a flight-recorder capture (raw events around the verdict) to this file for cctrace replay")
 	verbose := flag.Bool("v", false, "print histograms and per-window detail")
@@ -97,6 +98,7 @@ func main() {
 		Faults:             faultCfg,
 		Seed:               *seed,
 		Stream:             *streamMode,
+		Pipelined:          *pipelined,
 		Watchdog:           *watchdog,
 	}
 	if *record != "" {

@@ -186,6 +186,33 @@ func (s *slot) onEvent(cycle uint64) {
 	}
 }
 
+// onEvents sweeps a batch for this slot's kind. The common case — the
+// event lands inside the currently open, unsaturated Δt window — is a
+// single compare and a register bump with the window bound hoisted
+// into a local; only window-crossing or saturating events take the
+// full onEvent path. State after the sweep is identical to calling
+// onEvent per matching event.
+func (s *slot) onEvents(events []trace.Event) {
+	kind := s.kind
+	winEnd := s.windowStart + s.deltaT
+	accum := s.accum
+	for i := range events {
+		if events[i].Kind != kind {
+			continue
+		}
+		c := events[i].Cycle
+		if c < winEnd && accum < ^uint16(0) {
+			accum++
+			continue
+		}
+		s.accum = accum
+		s.onEvent(c)
+		accum = s.accum
+		winEnd = s.windowStart + s.deltaT
+	}
+	s.accum = accum
+}
+
 // histogramClamped sums the windows clamped into the top histogram bin
 // across recorded quanta plus the still-open one.
 func (s *slot) histogramClamped() uint64 {
@@ -334,12 +361,7 @@ func (a *Auditor) OnEvent(e trace.Event) {
 func (a *Auditor) OnEvents(events []trace.Event) {
 	a.mEvents.Add(uint64(len(events)))
 	for _, s := range a.slots {
-		kind := s.kind
-		for i := range events {
-			if events[i].Kind == kind {
-				s.onEvent(events[i].Cycle)
-			}
-		}
+		s.onEvents(events)
 	}
 	if a.osc != nil {
 		for i := range events {

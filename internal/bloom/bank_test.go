@@ -1,0 +1,46 @@
+package bloom
+
+import "testing"
+
+// TestAnyContainsAtMatchesPerFilter pins the fused probe bank against
+// the per-filter reference: for random keys across partially filled
+// same-geometry filters, AnyContainsAt equals "any ContainsAt".
+func TestAnyContainsAtMatchesPerFilter(t *testing.T) {
+	filters := make([]*Filter, 4)
+	for i := range filters {
+		filters[i] = MustNew(1024, 3)
+	}
+	// Populate each filter with a distinct key stripe.
+	for k := uint64(0); k < 200; k++ {
+		filters[k%4].Add(k * 2654435761)
+	}
+	probes := make([]uint64, 0, 8)
+	mismatches := 0
+	for k := uint64(0); k < 2000; k++ {
+		key := k * 1099511628211
+		probes = filters[0].AppendProbes(probes, key)
+		want := false
+		for _, f := range filters {
+			if f.ContainsAt(probes) {
+				want = true
+				break
+			}
+		}
+		if got := AnyContainsAt(filters, probes); got != want {
+			mismatches++
+			t.Errorf("key %d: AnyContainsAt = %v, per-filter = %v", key, got, want)
+			if mismatches > 5 {
+				t.Fatal("too many mismatches")
+			}
+		}
+	}
+	// Degenerate banks.
+	probes = filters[0].AppendProbes(probes, 12345)
+	if AnyContainsAt(nil, probes) {
+		t.Error("empty bank should never contain")
+	}
+	// k = 4 striped into filters[0] above.
+	if !AnyContainsAt(filters[:1], filters[0].AppendProbes(probes, 4*2654435761)) {
+		t.Error("single-filter bank missed a present key")
+	}
+}

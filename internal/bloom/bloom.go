@@ -9,6 +9,7 @@ package bloom
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrBadConfig is wrapped by every configuration validation error in
@@ -207,4 +208,62 @@ func popcount(x uint64) int {
 func (f *Filter) String() string {
 	return fmt.Sprintf("bloom.Filter{bits=%d k=%d added=%d fill=%.3f}",
 		f.nbits, f.hashes, f.added, f.FillRatio())
+}
+
+// AnyContainsAt probes a bank of same-geometry filters with one
+// precomputed position set (see AppendProbes) and reports whether any
+// filter contains all positions — the generational conflict tracker's
+// "was this tag evicted in any live generation?" test, fused so the
+// tag is hashed once and the filters are swept in one pass. The sweep
+// keeps a candidate bitmask over the filters (banks are small: the
+// tracker has four generations) and tests each probe position against
+// every still-candidate filter, unrolled four-wide across the bank;
+// most misses clear the whole mask on the first position and exit
+// after a handful of word loads. Equivalent to calling ContainsAt on
+// each filter in turn.
+func AnyContainsAt(filters []*Filter, positions []uint64) bool {
+	if len(filters) > 64 {
+		panic("bloom: probe bank wider than 64 filters")
+	}
+	alive := uint64(1)<<uint(len(filters)) - 1
+	for _, idx := range positions {
+		word, bit := idx/64, uint64(1)<<(idx%64)
+		mask := alive
+		// Unrolled four-wide over the bank's still-alive filters.
+		for mask != 0 {
+			i0 := bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			if filters[i0].bits[word]&bit == 0 {
+				alive &^= 1 << uint(i0)
+			}
+			if mask == 0 {
+				break
+			}
+			i1 := bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			if filters[i1].bits[word]&bit == 0 {
+				alive &^= 1 << uint(i1)
+			}
+			if mask == 0 {
+				break
+			}
+			i2 := bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			if filters[i2].bits[word]&bit == 0 {
+				alive &^= 1 << uint(i2)
+			}
+			if mask == 0 {
+				break
+			}
+			i3 := bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			if filters[i3].bits[word]&bit == 0 {
+				alive &^= 1 << uint(i3)
+			}
+		}
+		if alive == 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -47,9 +47,30 @@ func DefaultBusConfig(message []int, bps float64) BusConfig {
 }
 
 // BusTrojan transmits the message by modulating memory bus contention.
+// It is a sim.Stepper: the engine pulls its ops with direct calls; the
+// op and RNG-draw order are exactly those of the original blocking
+// loop (the evasion draw happens after the slot-start wait).
 type BusTrojan struct {
 	cfg BusConfig
+
+	rng     *stats.RNG
+	slot    uint64
+	burst   uint64
+	i       int    // slot index
+	bit     int    // bit for the current slot
+	start   uint64 // current slot start cycle
+	spacing uint64 // lock spacing for the current burst
+	k       uint64 // lock index within the burst
+	pc      int
 }
+
+// BusTrojan states.
+const (
+	btSlot  = iota // decode next bit, wait for its slot
+	btGate         // evasion/camouflage decision after the slot wait
+	btBurst        // wait for the next lock position
+	btLock         // issue the bus lock
+)
 
 // NewBusTrojan builds the transmitter.
 func NewBusTrojan(cfg BusConfig) *BusTrojan {
@@ -63,42 +84,90 @@ func NewBusTrojan(cfg BusConfig) *BusTrojan {
 // Name implements sim.Program.
 func (t *BusTrojan) Name() string { return "bus-trojan" }
 
-// Run implements sim.Program.
-func (t *BusTrojan) Run(m *sim.Machine) {
+// Run implements sim.Program via the goroutine reference driver.
+func (t *BusTrojan) Run(m *sim.Machine) { sim.RunSteps(t, m) }
+
+// Begin implements sim.Stepper.
+func (t *BusTrojan) Begin(m *sim.Machine) {
 	geo := m.Geometry()
-	rng := stats.NewRNG(t.cfg.Seed ^ 0xe7a510)
-	slot := t.cfg.slotCycles(geo)
-	burst := minU64(slot, t.cfg.MaxBurstCycles)
-	for i := 0; ; i++ {
-		bit, done := t.cfg.bitAt(i)
-		if done {
-			return
-		}
-		start := t.cfg.Start + uint64(i)*slot
-		m.WaitUntil(start)
-		spacing := t.cfg.LockSpacing
-		if bit == 0 {
-			if t.cfg.EvasionNoise <= 0 || rng.Float64() >= t.cfg.EvasionNoise {
-				continue // un-contended bus signals '0'
+	t.rng = stats.NewRNG(t.cfg.Seed ^ 0xe7a510)
+	t.slot = t.cfg.slotCycles(geo)
+	t.burst = minU64(t.slot, t.cfg.MaxBurstCycles)
+	t.pc = btSlot
+}
+
+// Step implements sim.Stepper.
+func (t *BusTrojan) Step(prev sim.OpResult) (sim.Op, bool) {
+	for {
+		switch t.pc {
+		case btSlot:
+			bit, done := t.cfg.bitAt(t.i)
+			if done {
+				return sim.Op{}, false
 			}
-			// Camouflage: a burst of random (lower) intensity.
-			spacing *= uint64(1 + rng.Intn(3))
-		}
-		for k := uint64(0); k*spacing < burst; k++ {
-			m.WaitUntil(start + k*spacing)
-			m.AtomicUnaligned(0)
+			t.bit = bit
+			t.start = t.cfg.Start + uint64(t.i)*t.slot
+			t.pc = btGate
+			return sim.Op{Kind: sim.OpWaitUntil, Cycles: t.start}, true
+
+		case btGate:
+			t.spacing = t.cfg.LockSpacing
+			if t.bit == 0 {
+				if t.cfg.EvasionNoise <= 0 || t.rng.Float64() >= t.cfg.EvasionNoise {
+					t.i++
+					t.pc = btSlot // un-contended bus signals '0'
+					continue
+				}
+				// Camouflage: a burst of random (lower) intensity.
+				t.spacing *= uint64(1 + t.rng.Intn(3))
+			}
+			t.k = 0
+			t.pc = btBurst
+
+		case btBurst:
+			if t.k*t.spacing < t.burst {
+				t.pc = btLock
+				return sim.Op{Kind: sim.OpWaitUntil, Cycles: t.start + t.k*t.spacing}, true
+			}
+			t.i++
+			t.pc = btSlot
+
+		case btLock:
+			t.k++
+			t.pc = btBurst
+			return sim.Op{Kind: sim.OpAtomicUnaligned}, true
 		}
 	}
 }
 
-// BusSpy decodes the message from memory access latencies.
+// BusSpy decodes the message from memory access latencies. Like the
+// trojan it is a sim.Stepper with the exact op order of the original
+// blocking loop.
 type BusSpy struct {
 	cfg     BusConfig
 	decoded []int
 	// perBitLatency records the spy's average memory latency for each
 	// bit — the series of Figure 2.
 	perBitLatency []float64
+
+	m       *sim.Machine
+	slot    uint64
+	spacing uint64
+	probe   uint64
+	i       int    // slot index
+	k       int    // sample index within the slot
+	start   uint64 // current slot start cycle
+	total   uint64 // latency accumulator for the slot
+	pc      int
 }
+
+// BusSpy states.
+const (
+	bsSlot   = iota // decode slot bounds, close out the previous bit
+	bsSample        // wait for the next sample position
+	bsLoad          // issue the probing load
+	bsAcc           // accumulate the load latency
+)
 
 // NewBusSpy builds the receiver.
 func NewBusSpy(cfg BusConfig) *BusSpy {
@@ -112,37 +181,64 @@ func NewBusSpy(cfg BusConfig) *BusSpy {
 // Name implements sim.Program.
 func (s *BusSpy) Name() string { return "bus-spy" }
 
-// Run implements sim.Program.
-func (s *BusSpy) Run(m *sim.Machine) {
+// Run implements sim.Program via the goroutine reference driver.
+func (s *BusSpy) Run(m *sim.Machine) { sim.RunSteps(s, m) }
+
+// Begin implements sim.Stepper.
+func (s *BusSpy) Begin(m *sim.Machine) {
 	geo := m.Geometry()
-	slot := s.cfg.slotCycles(geo)
-	burst := minU64(slot, s.cfg.MaxBurstCycles)
-	spacing := burst / uint64(s.cfg.SamplesPerBit)
-	if spacing == 0 {
-		spacing = 1
+	s.m = m
+	s.slot = s.cfg.slotCycles(geo)
+	burst := minU64(s.slot, s.cfg.MaxBurstCycles)
+	s.spacing = burst / uint64(s.cfg.SamplesPerBit)
+	if s.spacing == 0 {
+		s.spacing = 1
 	}
-	probe := uint64(0)
-	for i := 0; ; i++ {
-		if _, done := s.cfg.bitAt(i); done {
-			return
-		}
-		start := s.cfg.Start + uint64(i)*slot
-		var total uint64
-		for k := 0; k < s.cfg.SamplesPerBit; k++ {
-			// Sample a third of the way into each spacing interval so
-			// the probes never alias onto the trojan's lock grid.
-			m.WaitUntil(start + uint64(k)*spacing + spacing/3)
+	s.pc = bsSlot
+}
+
+// Step implements sim.Stepper.
+func (s *BusSpy) Step(prev sim.OpResult) (sim.Op, bool) {
+	for {
+		switch s.pc {
+		case bsSlot:
+			if _, done := s.cfg.bitAt(s.i); done {
+				return sim.Op{}, false
+			}
+			s.start = s.cfg.Start + uint64(s.i)*s.slot
+			s.total = 0
+			s.k = 0
+			s.pc = bsSample
+
+		case bsSample:
+			if s.k < s.cfg.SamplesPerBit {
+				// Sample a third of the way into each spacing interval so
+				// the probes never alias onto the trojan's lock grid.
+				s.pc = bsLoad
+				return sim.Op{Kind: sim.OpWaitUntil,
+					Cycles: s.start + uint64(s.k)*s.spacing + s.spacing/3}, true
+			}
+			avg := s.total / uint64(s.cfg.SamplesPerBit)
+			s.perBitLatency = append(s.perBitLatency, float64(avg))
+			if avg > s.cfg.DecisionLatency {
+				s.decoded = append(s.decoded, 1)
+			} else {
+				s.decoded = append(s.decoded, 0)
+			}
+			s.i++
+			s.pc = bsSlot
+
+		case bsLoad:
 			// A fresh line address misses the whole hierarchy, so the
 			// load's latency exposes the bus state.
-			probe++
-			total += m.Load(m.PrivateAddr(1<<30 + probe))
-		}
-		avg := total / uint64(s.cfg.SamplesPerBit)
-		s.perBitLatency = append(s.perBitLatency, float64(avg))
-		if avg > s.cfg.DecisionLatency {
-			s.decoded = append(s.decoded, 1)
-		} else {
-			s.decoded = append(s.decoded, 0)
+			s.probe++
+			s.pc = bsAcc
+			return sim.Op{Kind: sim.OpLoad, Addr: s.m.PrivateAddr(1<<30 + s.probe)}, true
+
+		case bsAcc:
+			s.total += prev.Latency
+			s.k++
+			s.pc = bsSample
 		}
 	}
 }

@@ -68,10 +68,30 @@ func (cfg CacheConfig) roundLen(slot uint64) uint64 {
 }
 
 // CacheTrojan transmits by replacing the blocks of G1 (for '1') or G0
-// (for '0').
+// (for '0'). It is a sim.Stepper with the exact op order of the
+// original blocking loop.
 type CacheTrojan struct {
 	cfg CacheConfig
+
+	m      *sim.Machine
+	g1, g0 []uint32
+	slot   uint64
+	round  uint64
+	addrs  []uint64
+	i      int      // slot index
+	r      int      // round index within the slot
+	setIdx int      // set index within the round
+	group  []uint32 // group carrying the current bit
+	start  uint64   // current slot start cycle
+	pc     int
 }
+
+// CacheTrojan states.
+const (
+	ctSlot  = iota // decode next bit, select its group
+	ctRound        // wait for the next prime round
+	ctSet          // replace one set's blocks
+)
 
 // NewCacheTrojan builds the transmitter.
 func NewCacheTrojan(cfg CacheConfig) *CacheTrojan {
@@ -85,44 +105,106 @@ func NewCacheTrojan(cfg CacheConfig) *CacheTrojan {
 // Name implements sim.Program.
 func (t *CacheTrojan) Name() string { return "cache-trojan" }
 
-// Run implements sim.Program.
-func (t *CacheTrojan) Run(m *sim.Machine) {
+// Run implements sim.Program via the goroutine reference driver.
+func (t *CacheTrojan) Run(m *sim.Machine) { sim.RunSteps(t, m) }
+
+// Begin implements sim.Stepper.
+func (t *CacheTrojan) Begin(m *sim.Machine) {
 	geo := m.Geometry()
-	g1, g0 := selectSets(t.cfg, geo)
-	slot := t.cfg.slotCycles(geo)
-	round := t.cfg.roundLen(slot)
-	addrs := make([]uint64, geo.L2Ways)
-	// Slot 0 is the spy's warm-up prime; transmission starts at slot 1.
-	for i := 0; ; i++ {
-		bit, done := t.cfg.bitAt(i)
-		if done {
-			return
-		}
-		start := t.cfg.Start + uint64(i+1)*slot
-		group := g1
-		if bit == 0 {
-			group = g0
-		}
-		for r := 0; r < t.cfg.RoundsPerBit; r++ {
-			m.WaitUntil(start + uint64(r)*round)
-			for _, set := range group {
-				for w := range addrs {
-					addrs[w] = m.L2AddrForSet(set, w)
-				}
-				m.LoadN(addrs)
+	t.m = m
+	t.g1, t.g0 = selectSets(t.cfg, geo)
+	t.slot = t.cfg.slotCycles(geo)
+	t.round = t.cfg.roundLen(t.slot)
+	t.addrs = make([]uint64, geo.L2Ways)
+	t.pc = ctSlot
+}
+
+// Step implements sim.Stepper.
+func (t *CacheTrojan) Step(prev sim.OpResult) (sim.Op, bool) {
+	for {
+		switch t.pc {
+		case ctSlot:
+			bit, done := t.cfg.bitAt(t.i)
+			if done {
+				return sim.Op{}, false
 			}
+			// Slot 0 is the spy's warm-up prime; transmission starts at
+			// slot 1.
+			t.start = t.cfg.Start + uint64(t.i+1)*t.slot
+			t.group = t.g1
+			if bit == 0 {
+				t.group = t.g0
+			}
+			t.r = 0
+			t.pc = ctRound
+
+		case ctRound:
+			if t.r < t.cfg.RoundsPerBit {
+				t.setIdx = 0
+				t.pc = ctSet
+				return sim.Op{Kind: sim.OpWaitUntil, Cycles: t.start + uint64(t.r)*t.round}, true
+			}
+			t.i++
+			t.pc = ctSlot
+
+		case ctSet:
+			if t.setIdx < len(t.group) {
+				set := t.group[t.setIdx]
+				for w := range t.addrs {
+					t.addrs[w] = t.m.L2AddrForSet(set, w)
+				}
+				t.setIdx++
+				return sim.Op{Kind: sim.OpLoadN, Addrs: t.addrs}, true
+			}
+			t.r++
+			t.pc = ctRound
 		}
 	}
 }
 
 // CacheSpy decodes by probing both groups and comparing access times.
+// It is a sim.Stepper: probing a group is a sub-machine (csProbe*)
+// that accumulates each LoadN's latency and then jumps to the state
+// stored in afterProbe, preserving the exact op order of the original
+// blocking loop.
 type CacheSpy struct {
 	cfg     CacheConfig
 	decoded []int
 	// perBitRatio is the spy's G1/G0 access-time ratio per bit — the
 	// Figure 7 series: >1 decodes '1', <1 decodes '0'.
 	perBitRatio []float64
+
+	m      *sim.Machine
+	g1, g0 []uint32
+	slot   uint64
+	round  uint64
+	addrs  []uint64
+	i      int    // slot index
+	r      int    // round index within the slot
+	start  uint64 // current slot start cycle
+	lat1   uint64 // accumulated G1 probe latency for the bit
+	lat0   uint64 // accumulated G0 probe latency for the bit
+
+	group      []uint32 // group the probe sub-machine is walking
+	setIdx     int      // probe position within group
+	probeTotal uint64   // probe sub-machine latency accumulator
+	afterProbe int      // state to resume once the probe completes
+	pc         int
 }
+
+// CacheSpy states.
+const (
+	csWarm      = iota // wait for slot 0, then prime both groups
+	csWarmG1           // warm-up: first group
+	csWarmG0           // warm-up: second group
+	csSlot             // decode slot bounds / close out the previous bit
+	csRound            // wait halfway into the next probe round
+	csProbeG1          // start the G1 probe
+	csProbeG0          // bank G1, start the G0 probe
+	csRoundDone        // bank G0, advance the round
+	csProbeLoad        // probe sub-machine: issue one set's LoadN
+	csProbeAcc         // probe sub-machine: accumulate its latency
+)
 
 // NewCacheSpy builds the receiver.
 func NewCacheSpy(cfg CacheConfig) *CacheSpy {
@@ -136,46 +218,99 @@ func NewCacheSpy(cfg CacheConfig) *CacheSpy {
 // Name implements sim.Program.
 func (s *CacheSpy) Name() string { return "cache-spy" }
 
-// Run implements sim.Program.
-func (s *CacheSpy) Run(m *sim.Machine) {
+// Run implements sim.Program via the goroutine reference driver.
+func (s *CacheSpy) Run(m *sim.Machine) { sim.RunSteps(s, m) }
+
+// Begin implements sim.Stepper.
+func (s *CacheSpy) Begin(m *sim.Machine) {
 	geo := m.Geometry()
-	g1, g0 := selectSets(s.cfg, geo)
-	slot := s.cfg.slotCycles(geo)
-	round := s.cfg.roundLen(slot)
-	addrs := make([]uint64, geo.L2Ways)
-	probe := func(group []uint32) uint64 {
-		var total uint64
-		for _, set := range group {
-			for w := range addrs {
-				addrs[w] = m.L2AddrForSet(set, w)
+	s.m = m
+	s.g1, s.g0 = selectSets(s.cfg, geo)
+	s.slot = s.cfg.slotCycles(geo)
+	s.round = s.cfg.roundLen(s.slot)
+	s.addrs = make([]uint64, geo.L2Ways)
+	s.pc = csWarm
+}
+
+// startProbe arms the probe sub-machine over group, resuming at
+// `after` when every set has been touched.
+func (s *CacheSpy) startProbe(group []uint32, after int) {
+	s.group = group
+	s.setIdx = 0
+	s.probeTotal = 0
+	s.afterProbe = after
+	s.pc = csProbeLoad
+}
+
+// Step implements sim.Stepper.
+func (s *CacheSpy) Step(prev sim.OpResult) (sim.Op, bool) {
+	for {
+		switch s.pc {
+		case csWarm:
+			// Warm-up: prime both groups during slot 0.
+			s.pc = csWarmG1
+			return sim.Op{Kind: sim.OpWaitUntil, Cycles: s.cfg.Start}, true
+
+		case csWarmG1:
+			s.startProbe(s.g1, csWarmG0)
+
+		case csWarmG0:
+			s.startProbe(s.g0, csSlot)
+
+		case csSlot:
+			if _, done := s.cfg.bitAt(s.i); done {
+				return sim.Op{}, false
 			}
-			total += m.LoadN(addrs)
-		}
-		return total
-	}
-	// Warm-up: prime both groups during slot 0.
-	m.WaitUntil(s.cfg.Start)
-	probe(g1)
-	probe(g0)
-	for i := 0; ; i++ {
-		if _, done := s.cfg.bitAt(i); done {
-			return
-		}
-		start := s.cfg.Start + uint64(i+1)*slot
-		var lat1, lat0 uint64
-		for r := 0; r < s.cfg.RoundsPerBit; r++ {
-			// Probe halfway through each round, after the trojan's
-			// replacements.
-			m.WaitUntil(start + uint64(r)*round + round/2)
-			lat1 += probe(g1)
-			lat0 += probe(g0)
-		}
-		ratio := float64(lat1) / float64(lat0)
-		s.perBitRatio = append(s.perBitRatio, ratio)
-		if ratio > 1 {
-			s.decoded = append(s.decoded, 1)
-		} else {
-			s.decoded = append(s.decoded, 0)
+			s.start = s.cfg.Start + uint64(s.i+1)*s.slot
+			s.lat1, s.lat0 = 0, 0
+			s.r = 0
+			s.pc = csRound
+
+		case csRound:
+			if s.r < s.cfg.RoundsPerBit {
+				// Probe halfway through each round, after the trojan's
+				// replacements.
+				s.pc = csProbeG1
+				return sim.Op{Kind: sim.OpWaitUntil,
+					Cycles: s.start + uint64(s.r)*s.round + s.round/2}, true
+			}
+			ratio := float64(s.lat1) / float64(s.lat0)
+			s.perBitRatio = append(s.perBitRatio, ratio)
+			if ratio > 1 {
+				s.decoded = append(s.decoded, 1)
+			} else {
+				s.decoded = append(s.decoded, 0)
+			}
+			s.i++
+			s.pc = csSlot
+
+		case csProbeG1:
+			s.startProbe(s.g1, csProbeG0)
+
+		case csProbeG0:
+			s.lat1 += s.probeTotal
+			s.startProbe(s.g0, csRoundDone)
+
+		case csRoundDone:
+			s.lat0 += s.probeTotal
+			s.r++
+			s.pc = csRound
+
+		case csProbeLoad:
+			if s.setIdx < len(s.group) {
+				set := s.group[s.setIdx]
+				for w := range s.addrs {
+					s.addrs[w] = s.m.L2AddrForSet(set, w)
+				}
+				s.setIdx++
+				s.pc = csProbeAcc
+				return sim.Op{Kind: sim.OpLoadN, Addrs: s.addrs}, true
+			}
+			s.pc = s.afterProbe
+
+		case csProbeAcc:
+			s.probeTotal += prev.Latency
+			s.pc = csProbeLoad
 		}
 	}
 }

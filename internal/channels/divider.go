@@ -32,10 +32,29 @@ func DefaultDivConfig(message []int, bps float64) DivConfig {
 	}
 }
 
-// DivTrojan transmits by saturating the core's division units.
+// DivTrojan transmits by saturating the core's division units. It is
+// a sim.Stepper with the exact op order of the original blocking loop.
 type DivTrojan struct {
 	cfg DivConfig
+
+	slot  uint64
+	burst uint64
+	i     int    // slot index
+	bit   int    // bit for the current slot
+	start uint64 // current slot start cycle
+	now   uint64 // last observed clock
+	pc    int
 }
+
+// DivTrojan states.
+const (
+	dtSlot    = iota // decode next bit, wait for its slot
+	dtGate           // skip '0' slots after the slot wait
+	dtLoop           // burst-bound check
+	dtDiv            // one division (followed by a clock read)
+	dtNow            // issue the clock read
+	dtNowDone        // record the clock read
+)
 
 // NewDivTrojan builds the transmitter.
 func NewDivTrojan(cfg DivConfig) *DivTrojan {
@@ -49,38 +68,95 @@ func NewDivTrojan(cfg DivConfig) *DivTrojan {
 // Name implements sim.Program.
 func (t *DivTrojan) Name() string { return "div-trojan" }
 
-// Run implements sim.Program.
-func (t *DivTrojan) Run(m *sim.Machine) {
+// Run implements sim.Program via the goroutine reference driver.
+func (t *DivTrojan) Run(m *sim.Machine) { sim.RunSteps(t, m) }
+
+// Begin implements sim.Stepper.
+func (t *DivTrojan) Begin(m *sim.Machine) {
 	geo := m.Geometry()
-	slot := t.cfg.slotCycles(geo)
-	burst := minU64(slot, t.cfg.MaxBurstCycles)
-	for i := 0; ; i++ {
-		bit, done := t.cfg.bitAt(i)
-		if done {
-			return
-		}
-		start := t.cfg.Start + uint64(i)*slot
-		now := m.WaitUntil(start)
-		if bit == 0 {
-			continue // empty loop: division units stay un-contended
-		}
-		// Individual (unbatched) divisions so the two hyperthreads'
-		// instructions interleave cycle by cycle, as on real SMT.
-		for now < start+burst {
-			m.Div()
-			now = m.Now()
+	t.slot = t.cfg.slotCycles(geo)
+	t.burst = minU64(t.slot, t.cfg.MaxBurstCycles)
+	t.pc = dtSlot
+}
+
+// Step implements sim.Stepper.
+func (t *DivTrojan) Step(prev sim.OpResult) (sim.Op, bool) {
+	for {
+		switch t.pc {
+		case dtSlot:
+			bit, done := t.cfg.bitAt(t.i)
+			if done {
+				return sim.Op{}, false
+			}
+			t.bit = bit
+			t.start = t.cfg.Start + uint64(t.i)*t.slot
+			t.pc = dtGate
+			return sim.Op{Kind: sim.OpWaitUntil, Cycles: t.start}, true
+
+		case dtGate:
+			t.now = prev.Now
+			if t.bit == 0 {
+				t.i++
+				t.pc = dtSlot // empty loop: division units stay un-contended
+				continue
+			}
+			t.pc = dtLoop
+
+		case dtLoop:
+			// Individual (unbatched) divisions so the two hyperthreads'
+			// instructions interleave cycle by cycle, as on real SMT.
+			if t.now < t.start+t.burst {
+				t.pc = dtDiv
+				continue
+			}
+			t.i++
+			t.pc = dtSlot
+
+		case dtDiv:
+			t.pc = dtNow
+			return sim.Op{Kind: sim.OpDiv}, true
+
+		case dtNow:
+			t.pc = dtNowDone
+			return sim.Op{Kind: sim.OpNow}, true
+
+		case dtNowDone:
+			t.now = prev.Now
+			t.pc = dtLoop
 		}
 	}
 }
 
-// DivSpy decodes by timing constant-length division loops.
+// DivSpy decodes by timing constant-length division loops. It is a
+// sim.Stepper with the exact op order of the original blocking loop.
 type DivSpy struct {
 	cfg     DivConfig
 	decoded []int
 	// perBitLatency is the spy's average loop latency per bit — the
 	// Figure 3 series.
 	perBitLatency []float64
+
+	slot  uint64
+	burst uint64
+	i     int    // slot index
+	j     int    // division index within the sample
+	start uint64 // current slot start cycle
+	now   uint64 // last observed clock
+	t0    uint64 // sample start clock
+	total uint64 // accumulated sample latency
+	iters uint64 // samples taken this slot
+	pc    int
 }
+
+// DivSpy states.
+const (
+	dsSlot    = iota // decode slot bounds, wait for the slot
+	dsGate           // initialize the slot's accumulators
+	dsLoop           // burst-bound check / close out the bit
+	dsDiv            // the OpsPerSample division loop
+	dsNow            // issue the sample's closing clock read
+	dsNowDone        // record the sample latency
+)
 
 // NewDivSpy builds the receiver.
 func NewDivSpy(cfg DivConfig) *DivSpy {
@@ -94,33 +170,67 @@ func NewDivSpy(cfg DivConfig) *DivSpy {
 // Name implements sim.Program.
 func (s *DivSpy) Name() string { return "div-spy" }
 
-// Run implements sim.Program.
-func (s *DivSpy) Run(m *sim.Machine) {
+// Run implements sim.Program via the goroutine reference driver.
+func (s *DivSpy) Run(m *sim.Machine) { sim.RunSteps(s, m) }
+
+// Begin implements sim.Stepper.
+func (s *DivSpy) Begin(m *sim.Machine) {
 	geo := m.Geometry()
-	slot := s.cfg.slotCycles(geo)
-	burst := minU64(slot, s.cfg.MaxBurstCycles)
-	for i := 0; ; i++ {
-		if _, done := s.cfg.bitAt(i); done {
-			return
-		}
-		start := s.cfg.Start + uint64(i)*slot
-		now := m.WaitUntil(start)
-		var total, iters uint64
-		for now < start+burst {
-			t0 := now
-			for j := 0; j < s.cfg.OpsPerSample; j++ {
-				m.Div()
+	s.slot = s.cfg.slotCycles(geo)
+	s.burst = minU64(s.slot, s.cfg.MaxBurstCycles)
+	s.pc = dsSlot
+}
+
+// Step implements sim.Stepper.
+func (s *DivSpy) Step(prev sim.OpResult) (sim.Op, bool) {
+	for {
+		switch s.pc {
+		case dsSlot:
+			if _, done := s.cfg.bitAt(s.i); done {
+				return sim.Op{}, false
 			}
-			now = m.Now()
-			total += now - t0
-			iters++
-		}
-		avg := total / iters
-		s.perBitLatency = append(s.perBitLatency, float64(avg))
-		if avg > s.cfg.DecisionLatency {
-			s.decoded = append(s.decoded, 1)
-		} else {
-			s.decoded = append(s.decoded, 0)
+			s.start = s.cfg.Start + uint64(s.i)*s.slot
+			s.pc = dsGate
+			return sim.Op{Kind: sim.OpWaitUntil, Cycles: s.start}, true
+
+		case dsGate:
+			s.now = prev.Now
+			s.total, s.iters = 0, 0
+			s.pc = dsLoop
+
+		case dsLoop:
+			if s.now < s.start+s.burst {
+				s.t0 = s.now
+				s.j = 0
+				s.pc = dsDiv
+				continue
+			}
+			avg := s.total / s.iters
+			s.perBitLatency = append(s.perBitLatency, float64(avg))
+			if avg > s.cfg.DecisionLatency {
+				s.decoded = append(s.decoded, 1)
+			} else {
+				s.decoded = append(s.decoded, 0)
+			}
+			s.i++
+			s.pc = dsSlot
+
+		case dsDiv:
+			if s.j < s.cfg.OpsPerSample {
+				s.j++
+				return sim.Op{Kind: sim.OpDiv}, true
+			}
+			s.pc = dsNow
+
+		case dsNow:
+			s.pc = dsNowDone
+			return sim.Op{Kind: sim.OpNow}, true
+
+		case dsNowDone:
+			s.now = prev.Now
+			s.total += s.now - s.t0
+			s.iters++
+			s.pc = dsLoop
 		}
 	}
 }

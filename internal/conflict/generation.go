@@ -192,12 +192,9 @@ func (g *Generational) Observe(o Observation) bool {
 		// room before the cache cycled through full capacity. The tag
 		// is hashed once; the filters share one geometry.
 		g.probes = g.filters[0].AppendProbes(g.probes, o.LineAddr)
-		for _, f := range g.filters {
-			if f.ContainsAt(g.probes) {
-				conflict = true
-				g.conflicts++
-				break
-			}
+		if bloom.AnyContainsAt(g.filters[:], g.probes) {
+			conflict = true
+			g.conflicts++
 		}
 	}
 	if o.Evicted {

@@ -88,7 +88,7 @@ type Figure4Result struct {
 func Figure4(o Options) Figure4Result {
 	o = o.norm()
 	msg := o.message()
-	results := o.runJobs([]runner.Job{
+	results := o.runShardJobs([]runner.Job{
 		o.scenarioJob("fig4/bus", cchunter.Scenario{
 			Channel:        cchunter.ChannelMemoryBus,
 			BandwidthBPS:   o.rowBPS(1000),
@@ -148,9 +148,7 @@ func Figure5(o Options) Figure5Result {
 	}
 	densities := train.Densities(0, cycle, 1000, false)
 	hist := stats.NewHistogram(16)
-	for _, d := range densities {
-		hist.Add(d)
-	}
+	hist.AddAll(densities)
 	lambda := stats.MeanInts(densities)
 	poisson := make([]float64, hist.NumBins())
 	total := float64(hist.Total())
@@ -175,7 +173,7 @@ type Figure6Result struct {
 func Figure6(o Options) Figure6Result {
 	o = o.norm()
 	msg := o.message()
-	results := o.runJobs([]runner.Job{
+	results := o.runShardJobs([]runner.Job{
 		o.scenarioJob("fig6/bus", cchunter.Scenario{
 			Channel:        cchunter.ChannelMemoryBus,
 			BandwidthBPS:   o.rowBPS(1000),

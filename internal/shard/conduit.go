@@ -1,0 +1,150 @@
+// Package shard pipelines a simulator shard with its analysis
+// consumers. A Conduit interposes between a sim.System's event
+// emission and its listeners (auditor, recorders): instead of running
+// the listener chain synchronously on the engine's execution path, it
+// copies each event batch into a recycled slab and ships it through a
+// bounded lock-free SPSC ring to a consumer goroutine that owns the
+// downstream listeners. Simulation and auditing then overlap in time.
+//
+// The handoff is observationally invisible: the ring is FIFO and the
+// consumer applies batches in push order, so every listener sees the
+// same events in the same order as with synchronous delivery — which
+// is why sharded runs are byte-identical to unsharded ones (pinned by
+// the conduit equivalence tests and the shard-determinism CI lane).
+//
+// Slabs recycle through a reverse free ring, so steady-state delivery
+// allocates nothing: the consumer returns each drained slab and the
+// producer refills it with the next batch.
+package shard
+
+import (
+	"cchunter/internal/spsc"
+	"cchunter/internal/trace"
+)
+
+// DefaultDepth is the default ring depth in batches. At the default
+// 512-event batch size this bounds in-flight events to ~32k — enough
+// to absorb auditor hiccups without letting the simulator run
+// unboundedly ahead.
+const DefaultDepth = 64
+
+// Conduit is a trace.Listener that forwards events to a downstream
+// listener on its own consumer goroutine via an SPSC ring. The
+// producer side (OnEvent/OnEvents/Flush) must be called from one
+// goroutine — the simulator engine's, which is single-threaded.
+type Conduit struct {
+	out  trace.Listener
+	ring *spsc.Ring[[]trace.Event]
+	free *spsc.Ring[[]trace.Event]
+	cur  []trace.Event // per-event path accumulator
+	slab int
+	done chan struct{}
+}
+
+// NewConduit starts a conduit delivering to out. depth bounds the
+// in-flight batches (DefaultDepth when <= 0); slab is the capacity
+// hint for recycled batch slabs (trace.DefaultBatchSize when <= 0).
+func NewConduit(out trace.Listener, depth, slab int) *Conduit {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	if slab <= 0 {
+		slab = trace.DefaultBatchSize
+	}
+	c := &Conduit{
+		out:  out,
+		ring: spsc.New[[]trace.Event](depth),
+		free: spsc.New[[]trace.Event](depth),
+		slab: slab,
+		done: make(chan struct{}),
+	}
+	go c.consume()
+	return c
+}
+
+// consume drains the ring, applies each slab to the downstream
+// listeners, and recycles it. Runs until Drain closes the ring.
+func (c *Conduit) consume() {
+	defer close(c.done)
+	for {
+		slab, ok := c.ring.Pop()
+		if !ok {
+			return
+		}
+		trace.Deliver(c.out, slab)
+		// Recycle; if the free ring is momentarily full the slab is
+		// simply dropped for the GC — correctness never depends on it.
+		c.free.TryPush(slab[:0])
+	}
+}
+
+// grab returns an empty slab with at least n capacity, recycled when
+// possible.
+func (c *Conduit) grab(n int) []trace.Event {
+	if s, ok := c.free.TryPop(); ok && cap(s) >= n {
+		return s
+	}
+	if n < c.slab {
+		n = c.slab
+	}
+	return make([]trace.Event, 0, n)
+}
+
+// OnEvents implements trace.BatchListener: copy the batch (the
+// producer's buffer is reused after we return) and ship it.
+func (c *Conduit) OnEvents(events []trace.Event) {
+	if len(events) == 0 {
+		return
+	}
+	if c.ring.Closed() {
+		// After Drain (e.g. a defensive flush during Close) fall back
+		// to synchronous delivery; the consumer is gone.
+		trace.Deliver(c.out, events)
+		return
+	}
+	c.flushCur()
+	slab := append(c.grab(len(events)), events...)
+	c.ring.Push(slab)
+}
+
+// OnEvent implements trace.Listener for unbatched producers: events
+// accumulate into a pending slab that ships when full or on Flush.
+func (c *Conduit) OnEvent(e trace.Event) {
+	if c.ring.Closed() {
+		c.out.OnEvent(e)
+		return
+	}
+	if c.cur == nil {
+		c.cur = c.grab(c.slab)
+	}
+	c.cur = append(c.cur, e)
+	if len(c.cur) == cap(c.cur) {
+		c.flushCur()
+	}
+}
+
+// flushCur ships the pending per-event slab, if any.
+func (c *Conduit) flushCur() {
+	if len(c.cur) > 0 {
+		c.ring.Push(c.cur)
+		c.cur = nil
+	}
+}
+
+// Flush ships any pending per-event slab downstream. It does not wait
+// for the consumer; use Drain for the end-of-run barrier.
+func (c *Conduit) Flush() { c.flushCur() }
+
+// Drain flushes pending events, closes the ring, and blocks until the
+// consumer has applied every in-flight batch — the quiesce barrier
+// between simulation and analysis. After Drain the conduit delivers
+// synchronously, so late stragglers (a defensive Close-time flush)
+// still reach the listeners.
+func (c *Conduit) Drain() {
+	if c.ring.Closed() {
+		return
+	}
+	c.flushCur()
+	c.ring.Close()
+	<-c.done
+}

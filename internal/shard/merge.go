@@ -1,0 +1,40 @@
+package shard
+
+import "cchunter/internal/trace"
+
+// MergeTrains merges per-shard event trains into one train with a
+// deterministic total order: ascending cycle, ties broken by actor
+// context id, then by shard index. Within one shard events already
+// arrive in simulator order, so the merge is a standard k-way merge
+// over sorted inputs and the output never depends on which shard
+// finished first — the property the sharded experiment path needs for
+// byte-identical aggregation at any shard count.
+func MergeTrains(trains []*trace.Train) *trace.Train {
+	total := 0
+	for _, t := range trains {
+		if t != nil {
+			total += t.Len()
+		}
+	}
+	out := trace.NewTrain(total)
+	pos := make([]int, len(trains))
+	for {
+		best := -1
+		var bestEv trace.Event
+		for i, t := range trains {
+			if t == nil || pos[i] >= t.Len() {
+				continue
+			}
+			e := t.At(pos[i])
+			if best < 0 || e.Cycle < bestEv.Cycle ||
+				(e.Cycle == bestEv.Cycle && e.Actor < bestEv.Actor) {
+				best, bestEv = i, e
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		pos[best]++
+		out.Append(bestEv)
+	}
+}

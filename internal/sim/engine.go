@@ -10,17 +10,29 @@ import (
 // absolute cycle `until` (or all processes finish). It may be called
 // repeatedly with increasing targets; state carries over. Determinism:
 // the engine always executes the pending operation of the context with
-// the smallest clock, breaking ties by context ID.
+// the smallest clock, breaking ties by context ID (the heap order of
+// ctxheap.go).
+//
+// Stepper programs execute on the coroutine-free path: the engine
+// pulls each op with a direct Step call and stores it by value, so the
+// steady-state op loop performs no channel operation and no heap
+// allocation. Programs implementing only the blocking interface run on
+// the goroutine driver, one channel round-trip per op, with the
+// pending op likewise held by value (the old `p.pending = &req` per-op
+// escape is gone on both paths).
 func (s *System) Run(until uint64) {
 	if s.closed {
 		panic("sim: Run after Close")
 	}
-	s.started = true
+	if !s.started {
+		s.started = true
+		s.heapInit()
+	}
 	span := s.mRunNS.Start() // zero Span when metrics are off: no clock read
 	defer span.End()
 	defer s.quiesce()
 	for {
-		c := s.pickContext()
+		c := s.heapMin()
 		if c == nil || c.clock >= until {
 			return
 		}
@@ -32,43 +44,61 @@ func (s *System) Run(until uint64) {
 			s.reapProc(c, p)
 			continue
 		}
-		if p.pending == nil {
-			req, ok := <-p.reqCh
-			if !ok {
-				p.done = true
-				s.reapProc(c, p)
-				continue
-			}
-			p.pending = &req
+		if !p.hasPend && !s.fetchOp(p) {
+			s.reapProc(c, p)
+			continue
 		}
 		if c.clock >= c.quantumEnd {
 			s.quantumBoundary(c)
 			continue // placement may have changed; re-pick
 		}
-		req := *p.pending
-		p.pending = nil
-		s.execute(c, p, req)
+		p.hasPend = false
+		res := s.execute(c, p, p.pendOp)
+		if p.step != nil {
+			p.last = res
+		} else {
+			p.respCh <- response{now: res.Now, latency: res.Latency}
+		}
 	}
 }
 
-// quiesce parks every running program goroutine: each one is either
-// finished or blocked waiting for its next response, so the caller can
-// safely read program state (decoded bits, latency series) without
-// racing a goroutine that was still executing between operations.
-func (s *System) quiesce() {
-	for _, p := range s.procs {
-		if !p.started || p.done || p.pending != nil {
-			continue
-		}
-		req, ok := <-p.reqCh
+// fetchOp obtains the process's next operation — a direct Step call on
+// the coroutine-free path, a channel receive from the program
+// goroutine otherwise — and stores it by value in p.pendOp. It returns
+// false (marking the process done) when the program has finished.
+func (s *System) fetchOp(p *Process) bool {
+	if p.step != nil {
+		op, ok := p.step.Step(p.last)
 		if !ok {
 			p.done = true
-			if p.ctx != nil {
-				s.reapProc(p.ctx, p)
-			}
+			return false
+		}
+		p.pendOp, p.hasPend = op, true
+		return true
+	}
+	op, ok := <-p.reqCh
+	if !ok {
+		p.done = true
+		return false
+	}
+	p.pendOp, p.hasPend = op, true
+	return true
+}
+
+// quiesce parks every running program at an op boundary: the next
+// operation is prefetched (advancing program-side state up to the
+// point of issuing it), so the caller can safely read program state
+// (decoded bits, latency series) knowing every completed op's effects
+// have been applied. On the goroutine driver this doubles as the
+// synchronization point proving the goroutine is blocked.
+func (s *System) quiesce() {
+	for _, p := range s.procs {
+		if !p.started || p.done || p.hasPend {
 			continue
 		}
-		p.pending = &req
+		if !s.fetchOp(p) && p.ctx != nil {
+			s.reapProc(p.ctx, p)
+		}
 	}
 	// Drain the delivery pipeline front to back: buffered batches first
 	// (they feed the injector), then any event the injector's reorder
@@ -83,22 +113,16 @@ func (s *System) quiesce() {
 	s.publishMetrics()
 }
 
-// pickContext returns the non-idle context with the smallest clock.
-func (s *System) pickContext() *hwContext {
-	var best *hwContext
-	for _, c := range s.contexts {
-		if len(c.runq) == 0 {
-			continue
-		}
-		if best == nil || c.clock < best.clock {
-			best = c
-		}
-	}
-	return best
-}
-
+// startProc activates a process on first schedule. Steppers get the
+// direct driver (no goroutine) unless the configuration forces the
+// goroutine reference driver for differential testing.
 func (s *System) startProc(p *Process) {
 	p.started = true
+	if st, ok := p.prog.(Stepper); ok && s.cfg.Driver != DriverGoroutine {
+		p.step = st
+		st.Begin(p.machine)
+		return
+	}
 	go func() {
 		defer close(p.reqCh)
 		defer func() {
@@ -111,12 +135,22 @@ func (s *System) startProc(p *Process) {
 }
 
 // reapProc removes a finished process from its context's run queue.
+// The departing process is almost always the currently scheduled one
+// (runq[0]); the linear fallback only runs for processes reaped off
+// the run position (e.g. at quiesce after a migration).
 func (s *System) reapProc(c *hwContext, p *Process) {
-	for i, q := range c.runq {
-		if q == p {
-			c.runq = append(c.runq[:i], c.runq[i+1:]...)
-			break
+	if len(c.runq) > 0 && c.runq[0] == p {
+		c.runq = c.runq[1:]
+	} else {
+		for i, q := range c.runq {
+			if q == p {
+				c.runq = append(c.runq[:i], c.runq[i+1:]...)
+				break
+			}
 		}
+	}
+	if len(c.runq) == 0 {
+		s.heapRemove(c)
 	}
 }
 
@@ -145,6 +179,9 @@ func (s *System) quantumBoundary(c *hwContext) {
 			}
 		}
 		c.runq = c.runq[1:]
+		if len(c.runq) == 0 {
+			s.heapRemove(c)
+		}
 		// The process resumes once the target context's clock catches
 		// up; its clock never runs backwards because the engine always
 		// executes the globally smallest clock first.
@@ -153,53 +190,59 @@ func (s *System) quantumBoundary(c *hwContext) {
 		}
 		target.runq = append(target.runq, cur)
 		cur.ctx = target
+		if target.heapIdx < 0 {
+			s.heapPush(target)
+		} else {
+			s.heapFix(target)
+		}
 		s.migrations++
 		return
 	}
 	if len(c.runq) > 1 {
 		c.runq = append(c.runq[1:], cur)
 		c.clock += s.cfg.CtxSwitchCycles
+		s.heapFix(c)
 		s.switches++
 	}
 }
 
 // execute performs one operation for process p on context c at the
-// context's current clock and replies to the program. Indicator events
-// are stamped at the issue cycle, which equals the global minimum
-// clock, keeping the event stream time-ordered.
-func (s *System) execute(c *hwContext, p *Process, req request) {
+// context's current clock and returns the program-observable result.
+// Indicator events are stamped at the issue cycle, which equals the
+// global minimum clock, keeping the event stream time-ordered.
+func (s *System) execute(c *hwContext, p *Process, op Op) OpResult {
 	s.opCount++ // published at quantum boundaries; see publishMetrics
 	t0 := c.clock
 	var latency uint64
-	switch req.kind {
-	case opCompute:
-		latency = req.cycles
-	case opNow:
+	switch op.Kind {
+	case OpCompute:
+		latency = op.Cycles
+	case OpNow:
 		latency = 0
-	case opWaitUntil:
-		if req.cycles > c.clock {
-			latency = req.cycles - c.clock
+	case OpWaitUntil:
+		if op.Cycles > c.clock {
+			latency = op.Cycles - c.clock
 		}
-	case opLoad, opStore:
-		latency = s.memAccess(c, req.addr, t0, t0)
-	case opLoadN:
-		for _, a := range req.addrs {
+	case OpLoad, OpStore:
+		latency = s.memAccess(c, op.Addr, t0, t0)
+	case OpLoadN:
+		for _, a := range op.Addrs {
 			latency += s.memAccess(c, a, t0+latency, t0)
 		}
-	case opAtomicUnaligned:
+	case OpAtomicUnaligned:
 		start := t0
 		if lim := s.cfg.Mitigations.BusLimiter; lim != nil {
 			start += lim.Penalty(t0, c.id)
 		}
 		done, _ := s.bus.LockAccess(start, c.id)
 		latency = done - t0
-	case opDiv:
+	case OpDiv:
 		start := s.dividerSlot(c, t0)
 		done, _ := c.core.div.DivideStamped(start, t0, c.id)
 		latency = done - t0
-	case opDivN:
+	case OpDivN:
 		cursor := t0
-		for i := 0; i < req.count; i++ {
+		for i := 0; i < op.Count; i++ {
 			cursor = s.dividerSlot(c, cursor)
 			cursor, _ = c.core.div.DivideStamped(cursor, t0, c.id)
 		}
@@ -208,19 +251,22 @@ func (s *System) execute(c *hwContext, p *Process, req request) {
 		panic("sim: unknown op")
 	}
 	c.clock = t0 + latency
+	if latency != 0 {
+		s.heapFix(c)
+	}
 	observedLat := latency
 	observedNow := c.clock
 	if f := s.cfg.Mitigations.Fuzz; f != nil {
 		// Fuzzy time: every measurement the program can make — op
 		// latencies and clock reads — is degraded; the architectural
 		// clock is not.
-		switch req.kind {
-		case opLoad, opStore, opLoadN, opAtomicUnaligned, opDiv, opDivN:
+		switch op.Kind {
+		case OpLoad, OpStore, OpLoadN, OpAtomicUnaligned, OpDiv, OpDivN:
 			observedLat = f.Observe(latency)
 		}
 		observedNow = f.ObserveClock(c.clock)
 	}
-	p.respCh <- response{now: observedNow, latency: observedLat}
+	return OpResult{Now: observedNow, Latency: observedLat}
 }
 
 // dividerSlot applies the divider time-multiplexing mitigation: the
@@ -292,7 +338,8 @@ func (s *System) memAccess(c *hwContext, addr uint64, now, stamp uint64) uint64 
 	return (done - now) + s.cfg.MemCycles
 }
 
-// Close tears down all still-running program goroutines. The system
+// Close tears down all still-running program goroutines. Stepper
+// processes have no goroutine: they are simply marked done. The system
 // cannot be used afterwards.
 func (s *System) Close() {
 	if s.closed {
@@ -303,15 +350,18 @@ func (s *System) Close() {
 		if !p.started || p.done {
 			continue
 		}
-		if p.pending == nil {
-			req, ok := <-p.reqCh
-			if !ok {
+		if p.step != nil {
+			p.done = true
+			p.hasPend = false
+			continue
+		}
+		if !p.hasPend {
+			if _, ok := <-p.reqCh; !ok {
 				p.done = true
 				continue
 			}
-			p.pending = &req
 		}
-		p.pending = nil
+		p.hasPend = false
 		p.respCh <- response{stop: true}
 		for range p.reqCh {
 			// drain until the goroutine closes the channel

@@ -2,14 +2,18 @@ package sim
 
 import "errors"
 
-// Program is the code a software process runs. Run executes on its own
-// goroutine but only ever makes progress while the engine has resumed
-// it, so implementations need no synchronization. Run returns when the
-// program is finished; infinite server loops simply never return and
-// are torn down by System.Close.
+// Program is the code a software process runs. Under the goroutine
+// driver Run executes on its own goroutine but only ever makes
+// progress while the engine has resumed it, so implementations need no
+// synchronization. Run returns when the program is finished; infinite
+// server loops simply never return and are torn down by System.Close.
+//
+// Programs that additionally implement Stepper are executed by direct
+// calls with no goroutine at all (the default driver); see step.go.
 //
 // Programs must not recover panics they did not raise: the engine
-// stops programs by panicking through their stack with a sentinel.
+// stops goroutine-driven programs by panicking through their stack
+// with a sentinel.
 type Program interface {
 	// Name labels the process for reporting.
 	Name() string
@@ -36,28 +40,7 @@ func NewProgram(name string, fn func(m *Machine)) Program {
 func (p *programFunc) Name() string   { return p.name }
 func (p *programFunc) Run(m *Machine) { p.fn(m) }
 
-type opKind uint8
-
-const (
-	opCompute opKind = iota
-	opLoad
-	opStore
-	opLoadN
-	opAtomicUnaligned
-	opDiv
-	opDivN
-	opNow
-	opWaitUntil
-)
-
-type request struct {
-	kind   opKind
-	addr   uint64
-	addrs  []uint64 // opLoadN
-	cycles uint64   // opCompute amount / opWaitUntil target
-	count  int      // opDivN count
-}
-
+// response is the goroutine driver's reply to a blocked program.
 type response struct {
 	now     uint64 // context clock after the op
 	latency uint64 // cycles the op took from issue to completion
@@ -72,32 +55,35 @@ type Machine struct {
 	geo  Geometry
 }
 
-func (m *Machine) do(r request) response {
+// Do executes one decoded operation through the blocking driver and
+// returns its result. The convenience wrappers below (Compute, Load,
+// ...) are thin shims over it.
+func (m *Machine) Do(op Op) OpResult {
 	p := m.proc
-	p.reqCh <- r
+	p.reqCh <- op
 	resp := <-p.respCh
 	if resp.stop {
 		panic(errStopped)
 	}
-	return resp
+	return OpResult{Now: resp.now, Latency: resp.latency}
 }
 
 // Compute spends the given number of cycles of pure computation.
 func (m *Machine) Compute(cycles uint64) {
-	m.do(request{kind: opCompute, cycles: cycles})
+	m.Do(Op{Kind: OpCompute, Cycles: cycles})
 }
 
 // Load reads addr through the cache hierarchy and returns the access
 // latency in cycles — the observable that covert-channel receivers
 // decode bits from.
 func (m *Machine) Load(addr uint64) uint64 {
-	return m.do(request{kind: opLoad, addr: addr}).latency
+	return m.Do(Op{Kind: OpLoad, Addr: addr}).Latency
 }
 
 // Store writes addr through the cache hierarchy (modelled identically
 // to Load: write-allocate) and returns the latency.
 func (m *Machine) Store(addr uint64) uint64 {
-	return m.do(request{kind: opStore, addr: addr}).latency
+	return m.Do(Op{Kind: OpStore, Addr: addr}).Latency
 }
 
 // LoadN performs the loads back-to-back in one engine round and
@@ -110,20 +96,20 @@ func (m *Machine) LoadN(addrs []uint64) uint64 {
 	if len(addrs) == 0 {
 		return 0
 	}
-	return m.do(request{kind: opLoadN, addrs: addrs}).latency
+	return m.Do(Op{Kind: OpLoadN, Addrs: addrs}).Latency
 }
 
 // AtomicUnaligned performs an atomic access spanning two cache lines
 // at addr, locking the memory bus (the bus covert channel's
 // transmitter primitive). It returns the latency.
 func (m *Machine) AtomicUnaligned(addr uint64) uint64 {
-	return m.do(request{kind: opAtomicUnaligned, addr: addr}).latency
+	return m.Do(Op{Kind: OpAtomicUnaligned, Addr: addr}).Latency
 }
 
 // Div issues one integer division and returns its latency, including
 // any wait on a busy divider.
 func (m *Machine) Div() uint64 {
-	return m.do(request{kind: opDiv}).latency
+	return m.Do(Op{Kind: OpDiv}).Latency
 }
 
 // DivN issues n back-to-back divisions in one engine round and returns
@@ -132,12 +118,12 @@ func (m *Machine) DivN(n int) uint64 {
 	if n <= 0 {
 		return 0
 	}
-	return m.do(request{kind: opDivN, count: n}).latency
+	return m.Do(Op{Kind: OpDivN, Count: n}).Latency
 }
 
 // Now returns the context's current cycle.
 func (m *Machine) Now() uint64 {
-	return m.do(request{kind: opNow}).now
+	return m.Do(Op{Kind: OpNow}).Now
 }
 
 // WaitUntil sleeps until the given absolute cycle (a no-op when it is
@@ -145,7 +131,7 @@ func (m *Machine) Now() uint64 {
 // it to pace bit slots; workload models use it to pace request
 // arrivals.
 func (m *Machine) WaitUntil(cycle uint64) uint64 {
-	return m.do(request{kind: opWaitUntil, cycles: cycle}).now
+	return m.Do(Op{Kind: OpWaitUntil, Cycles: cycle}).Now
 }
 
 // Sleep advances the clock by d cycles without touching any shared

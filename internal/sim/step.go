@@ -1,0 +1,84 @@
+package sim
+
+// OpKind identifies one machine operation.
+type OpKind uint8
+
+const (
+	// OpCompute spends Cycles cycles of pure computation.
+	OpCompute OpKind = iota
+	// OpLoad reads Addr through the cache hierarchy.
+	OpLoad
+	// OpStore writes Addr (modelled identically to OpLoad).
+	OpStore
+	// OpLoadN performs the loads in Addrs back-to-back in one round.
+	OpLoadN
+	// OpAtomicUnaligned locks the memory bus for an atomic access
+	// spanning two lines at Addr.
+	OpAtomicUnaligned
+	// OpDiv issues one integer division.
+	OpDiv
+	// OpDivN issues Count back-to-back divisions in one round.
+	OpDivN
+	// OpNow reads the context's clock.
+	OpNow
+	// OpWaitUntil sleeps until absolute cycle Cycles.
+	OpWaitUntil
+)
+
+// Op is one decoded machine operation. It is the unit of work the
+// engine executes: Steppers hand ops to the engine by value, so the
+// steady-state execution path performs no per-op allocation.
+type Op struct {
+	Kind   OpKind
+	Addr   uint64   // OpLoad / OpStore / OpAtomicUnaligned target
+	Addrs  []uint64 // OpLoadN batch (owned by the program; stable until its next Step)
+	Cycles uint64   // OpCompute amount / OpWaitUntil absolute target
+	Count  int      // OpDivN count
+}
+
+// OpResult is the engine's reply to an executed Op. Both fields are
+// the program-observable values: with a fuzzy-clock mitigation active
+// they are degraded, while the architectural clock is not.
+type OpResult struct {
+	Now     uint64 // context clock after the op
+	Latency uint64 // cycles from issue to completion
+}
+
+// Stepper is a resumable program: a state machine the engine drives
+// with direct calls instead of a goroutine. The engine calls Step to
+// obtain the next operation, executes it, and passes the result to the
+// following Step call — zero channel traffic, zero stack switches.
+//
+// Every Stepper must also implement the blocking Program interface;
+// RunSteps adapts Step to the goroutine driver so the exact same
+// program logic runs under either driver (the differential-test
+// lever: Config.Driver selects which one executes).
+//
+// A Stepper instance holds per-run state and must not be spawned into
+// more than one process.
+type Stepper interface {
+	Program
+	// Begin hands the stepper its machine handle before the first
+	// Step. Only the non-blocking Machine methods (Geometry, PID,
+	// PrivateAddr, L2AddrForSet) may be called on it.
+	Begin(m *Machine)
+	// Step returns the next operation given the previous op's result.
+	// The first call receives the zero OpResult. ok=false means the
+	// program finished; Step is never called again.
+	Step(prev OpResult) (op Op, ok bool)
+}
+
+// RunSteps drives a Stepper through the blocking Machine API. Stepper
+// implementations use it as their entire Program.Run body, so the
+// goroutine reference driver executes the identical op stream.
+func RunSteps(s Stepper, m *Machine) {
+	s.Begin(m)
+	var prev OpResult
+	for {
+		op, ok := s.Step(prev)
+		if !ok {
+			return
+		}
+		prev = m.Do(op)
+	}
+}

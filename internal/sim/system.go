@@ -27,9 +27,23 @@ type Process struct {
 	sys     *System
 	machine *Machine
 
-	reqCh   chan request
-	respCh  chan response
-	pending *request
+	// Goroutine-driver plumbing (nil-channel-free even on the step
+	// path: the channels are always allocated, but never used when the
+	// engine drives the program by direct Step calls).
+	reqCh  chan Op
+	respCh chan response
+
+	// step is non-nil when the engine drives this program
+	// coroutine-free; last carries the previous op's result into the
+	// next Step call.
+	step Stepper
+	last OpResult
+
+	// pendOp is the fetched-but-not-yet-executed operation, held by
+	// value: the steady-state op path performs no per-op allocation.
+	pendOp  Op
+	hasPend bool
+
 	started bool
 	done    bool
 
@@ -59,6 +73,7 @@ type hwContext struct {
 	clock      uint64
 	quantumEnd uint64
 	runq       []*Process // runq[0] is the currently scheduled process
+	heapIdx    int        // position in System.heap, -1 when idle
 }
 
 // System is the simulated machine plus its OS layer.
@@ -79,6 +94,7 @@ type System struct {
 	injector *faults.Injector
 	procs    []*Process
 	rng      *stats.RNG
+	heap     []*hwContext // min-heap over non-idle contexts; see ctxheap.go
 	started  bool
 	closed   bool
 
@@ -167,6 +183,7 @@ func New(cfg Config) (*System, error) {
 				id:         uint8(c*cfg.ThreadsPerCore + t),
 				core:       co,
 				quantumEnd: cfg.QuantumCycles,
+				heapIdx:    -1,
 			})
 		}
 	}
@@ -235,7 +252,7 @@ func (s *System) Spawn(prog Program, opts ...SpawnOption) *Process {
 		prog:   prog,
 		pinned: -1,
 		sys:    s,
-		reqCh:  make(chan request),
+		reqCh:  make(chan Op),
 		respCh: make(chan response),
 	}
 	for _, o := range opts {

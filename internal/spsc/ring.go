@@ -1,0 +1,127 @@
+// Package spsc provides a bounded, lock-free single-producer
+// single-consumer ring queue — the per-shard pipeline between a
+// simulator engine and the auditor consumer that drains it. The
+// Lamport-style design needs no mutex and no channel: the producer
+// owns the tail cursor, the consumer owns the head cursor, and each
+// side only ever loads the other's cursor with acquire semantics, so
+// a push and a pop never contend on the same cache line.
+//
+// Capacity is always rounded up to a power of two so positions wrap
+// with a mask instead of a division. The queue is cap-bounded: a full
+// ring makes the producer spin (yielding the OS thread between
+// probes), which backpressures a simulator that outruns its auditor
+// instead of buffering unboundedly.
+package spsc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// pad keeps the hot cursors on distinct cache lines so producer and
+// consumer never false-share.
+type pad [64]byte
+
+// Ring is a bounded SPSC queue of T. Exactly one goroutine may push
+// and exactly one may pop; any other use is a data race.
+type Ring[T any] struct {
+	mask uint64
+	buf  []T
+
+	_      pad
+	tail   atomic.Uint64 // next write slot, producer-owned
+	_      pad
+	head   atomic.Uint64 // next read slot, consumer-owned
+	_      pad
+	closed atomic.Bool
+}
+
+// New returns a ring holding at least capacity elements (rounded up
+// to a power of two, minimum 2).
+func New[T any](capacity int) *Ring[T] {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &Ring[T]{mask: n - 1, buf: make([]T, n)}
+}
+
+// Cap returns the ring's (rounded) capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued elements. It is exact only from
+// the producer or consumer goroutine; elsewhere it is a snapshot.
+func (r *Ring[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// TryPush enqueues v, reporting false when the ring is full or
+// closed. Producer-side only.
+func (r *Ring[T]) TryPush(v T) bool {
+	if r.closed.Load() {
+		return false
+	}
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1) // release: publishes the slot write above
+	return true
+}
+
+// Push enqueues v, spinning (with scheduler yields) while the ring is
+// full — the cap-bounded backpressure path. It panics on a closed
+// ring: the producer closes the ring, so a push after close is a
+// lifecycle bug worth failing loudly on.
+func (r *Ring[T]) Push(v T) {
+	for !r.TryPush(v) {
+		if r.closed.Load() {
+			panic("spsc: push on closed ring")
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryPop dequeues the oldest element, reporting false when the ring
+// is empty. Consumer-side only.
+func (r *Ring[T]) TryPop() (T, bool) {
+	var zero T
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return zero, false
+	}
+	v := r.buf[h&r.mask]
+	r.buf[h&r.mask] = zero // drop the reference so slabs can be collected
+	r.head.Store(h + 1)    // release: frees the slot for the producer
+	return v, true
+}
+
+// Pop dequeues the oldest element, spinning while the ring is empty.
+// It returns ok = false only once the ring is closed AND fully
+// drained, so a consumer loop `for v, ok := r.Pop(); ok; ...` sees
+// every element ever pushed — the drain-on-quiesce guarantee.
+func (r *Ring[T]) Pop() (T, bool) {
+	for {
+		if v, ok := r.TryPop(); ok {
+			return v, true
+		}
+		if r.closed.Load() {
+			// Closed: one more check, since the producer may have
+			// pushed between our TryPop and its Close.
+			if v, ok := r.TryPop(); ok {
+				return v, true
+			}
+			var zero T
+			return zero, false
+		}
+		runtime.Gosched()
+	}
+}
+
+// Close marks the ring closed. Producer-side only; elements already
+// queued remain poppable (Pop drains them before reporting closed).
+func (r *Ring[T]) Close() { r.closed.Store(true) }
+
+// Closed reports whether Close has been called.
+func (r *Ring[T]) Closed() bool { return r.closed.Load() }

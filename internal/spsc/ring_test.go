@@ -1,0 +1,125 @@
+package spsc
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {64, 64}, {65, 128},
+	} {
+		if got := New[int](c.ask).Cap(); got != c.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+// TestRingWraparound pushes far more elements than the capacity so
+// the cursors wrap the buffer many times, checking strict FIFO order
+// throughout.
+func TestRingWraparound(t *testing.T) {
+	r := New[int](4)
+	next := 0
+	for i := 0; i < 1000; i++ {
+		// Fill to capacity, then drain completely: every boundary
+		// alignment of head/tail against the mask is exercised.
+		pushed := 0
+		for r.TryPush(i*10 + pushed) {
+			pushed++
+		}
+		if pushed != r.Cap() {
+			t.Fatalf("iteration %d: pushed %d into an empty ring of cap %d", i, pushed, r.Cap())
+		}
+		for k := 0; k < pushed; k++ {
+			v, ok := r.TryPop()
+			if !ok {
+				t.Fatalf("iteration %d: pop %d failed", i, k)
+			}
+			if v != i*10+k {
+				t.Fatalf("iteration %d: popped %d, want %d (FIFO broken)", i, v, i*10+k)
+			}
+			next++
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Error("drained ring still pops")
+	}
+}
+
+// TestRingBackpressure pins the cap-bounded contract: a full ring
+// rejects TryPush and blocks Push until the consumer frees a slot.
+func TestRingBackpressure(t *testing.T) {
+	r := New[int](2)
+	r.Push(1)
+	r.Push(2)
+	if r.TryPush(3) {
+		t.Fatal("TryPush succeeded on a full ring")
+	}
+	var pushed atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		r.Push(3) // must block until a pop frees a slot
+		pushed.Store(true)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if pushed.Load() {
+		t.Fatal("Push returned while the ring was full")
+	}
+	if v, ok := r.TryPop(); !ok || v != 1 {
+		t.Fatalf("pop = %d, %v; want 1, true", v, ok)
+	}
+	<-done
+	if v, ok := r.TryPop(); !ok || v != 2 {
+		t.Fatalf("pop = %d, %v; want 2, true", v, ok)
+	}
+	if v, ok := r.TryPop(); !ok || v != 3 {
+		t.Fatalf("pop = %d, %v; want 3, true", v, ok)
+	}
+}
+
+// TestRingQuiesceDrain pins the drain-on-close contract: a consumer
+// looping on Pop sees every element pushed before Close, in order,
+// and only then gets ok = false.
+func TestRingQuiesceDrain(t *testing.T) {
+	const n = 10_000
+	r := New[int](8)
+	got := make(chan []int, 1)
+	go func() {
+		var vs []int
+		for {
+			v, ok := r.Pop()
+			if !ok {
+				got <- vs
+				return
+			}
+			vs = append(vs, v)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		r.Push(i)
+	}
+	r.Close()
+	vs := <-got
+	if len(vs) != n {
+		t.Fatalf("consumer saw %d elements, want %d", len(vs), n)
+	}
+	for i, v := range vs {
+		if v != i {
+			t.Fatalf("element %d = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestRingPushAfterClosePanics(t *testing.T) {
+	r := New[int](2)
+	r.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Push on a closed ring did not panic")
+		}
+	}()
+	r.Push(1)
+}

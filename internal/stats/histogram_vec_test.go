@@ -1,0 +1,38 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestHistogramAddAllMatchesAdd pins the unrolled bulk fill against
+// the scalar path, including the fallback cases: negative (invalid)
+// and past-the-top (clamped) densities scattered through the slice so
+// both the 4-wide fast groups and the scalar spill execute.
+func TestHistogramAddAllMatchesAdd(t *testing.T) {
+	rng := NewRNG(99)
+	densities := make([]int, 1003) // odd length: exercises the tail loop
+	for i := range densities {
+		switch rng.Intn(10) {
+		case 0:
+			densities[i] = -1 - rng.Intn(5) // invalid
+		case 1:
+			densities[i] = 16 + rng.Intn(100) // clamped
+		default:
+			densities[i] = rng.Intn(16)
+		}
+	}
+	scalar := NewHistogram(16)
+	for _, d := range densities {
+		scalar.Add(d)
+	}
+	bulk := NewHistogram(16)
+	bulk.AddAll(densities)
+	if !reflect.DeepEqual(bulk.Bins(), scalar.Bins()) {
+		t.Errorf("AddAll bins = %v, want %v", bulk.Bins(), scalar.Bins())
+	}
+	if bulk.Clamped() != scalar.Clamped() || bulk.Invalid() != scalar.Invalid() {
+		t.Errorf("AddAll clamped/invalid = %d/%d, want %d/%d",
+			bulk.Clamped(), bulk.Invalid(), scalar.Clamped(), scalar.Invalid())
+	}
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDensitiesIntoMatchesAndReuses pins the unrolled, buffer-reusing
+// density fill: results equal the allocating path for assorted window
+// alignments, and a recycled buffer (larger, dirty) is zeroed and
+// reused instead of reallocated.
+func TestDensitiesIntoMatchesAndReuses(t *testing.T) {
+	tr := NewTrain(0)
+	cycle := uint64(0)
+	for i := 0; i < 500; i++ {
+		tr.Append(Event{Cycle: cycle})
+		cycle += uint64(1 + (i*7)%97)
+	}
+	buf := make([]int, 0, 4096)
+	for i := range buf[:cap(buf)] {
+		buf = buf[:cap(buf)]
+		buf[i] = -777 // dirt: must be cleared by the fill
+	}
+	for _, tc := range []struct {
+		start, end, dt uint64
+		partial        bool
+	}{
+		{0, cycle, 100, false},
+		{0, cycle, 100, true},
+		{50, cycle - 31, 7, true},
+		{0, cycle, 1, false},
+		{cycle, cycle, 10, true}, // empty range
+	} {
+		want := make([]int, 0)
+		if tc.end > tc.start {
+			span := tc.end - tc.start
+			n := int(span / tc.dt)
+			if span%tc.dt != 0 && tc.partial {
+				n++
+			}
+			want = make([]int, n)
+			for _, e := range tr.Events() {
+				if e.Cycle < tc.start || e.Cycle >= tc.end {
+					continue
+				}
+				if idx := int((e.Cycle - tc.start) / tc.dt); idx < n {
+					want[idx]++
+				}
+			}
+		}
+		got := tr.DensitiesInto(buf, tc.start, tc.end, tc.dt, tc.partial)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("DensitiesInto(%+v) differs from reference", tc)
+		}
+		if len(want) > 0 && len(want) <= cap(buf) && &got[:1][0] != &buf[:1][0] {
+			t.Errorf("DensitiesInto(%+v) reallocated despite sufficient capacity", tc)
+		}
+		alloc := tr.Densities(tc.start, tc.end, tc.dt, tc.partial)
+		if len(alloc) != len(want) || (len(want) > 0 && !reflect.DeepEqual(alloc, want)) {
+			t.Errorf("Densities(%+v) differs from reference", tc)
+		}
+	}
+}

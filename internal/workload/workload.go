@@ -69,14 +69,62 @@ type Spec struct {
 	StormSpacing uint64
 }
 
-// program is the generic Spec interpreter.
+// program is the generic Spec interpreter, written as a resumable
+// sim.Stepper state machine: each Step call advances through the
+// states below until the next machine operation is decoded, so the
+// engine executes the workload with zero channel traffic. The state
+// progression and — critically — the RNG draw order are exactly those
+// of the original blocking loop (m.Sleep(d) is two ops, Now then
+// WaitUntil, with d drawn before either; likewise the storm-renewal
+// draw happens after its Now op, matching Go's left-to-right operand
+// evaluation in the old code), so verdicts are byte-identical under
+// either driver.
 type program struct {
 	spec Spec
 	seed uint64
+
+	m   *sim.Machine
+	rng *stats.RNG
+	geo sim.Geometry
+
+	addrs         []uint64
+	cursor        uint64 // streaming cursor
+	periodic      int    // periodic set cursor (resettable per burst)
+	periodicTotal int    // monotonic periodic touch counter
+	iterations    int
+	nextStorm     uint64
+
+	burst, b int
+	scale    float64
+	stormN   int    // locks remaining in the current storm
+	sleepDur uint64 // drawn Sleep duration awaiting its WaitUntil
+	pc       int
 }
 
+// Stepper states. Cases without an op fall through to the next state
+// inside Step's loop.
+const (
+	wlBurstHeader   = iota // draw burst length / scale / periodic restart
+	wlCompute              // optional Compute op
+	wlMem                  // optional working-set LoadN
+	wlHot                  // optional hot-region LoadN
+	wlDivs                 // optional DivN
+	wlAtomic               // optional AtomicUnaligned
+	wlStormNow             // Now op opening the storm check
+	wlStormCheck           // compare Now against nextStorm
+	wlStormLock            // one storm AtomicUnaligned
+	wlStormGapNow          // Now op of the intra-storm Sleep
+	wlStormGapWait         // WaitUntil op of the intra-storm Sleep
+	wlStormRenewNow        // Now op feeding the nextStorm draw
+	wlStormRenew           // nextStorm draw (no op)
+	wlIterEnd              // iteration bookkeeping
+	wlIdleNow              // Now op of the inter-burst Sleep
+	wlIdleWait             // WaitUntil op of the inter-burst Sleep
+)
+
 // New builds a sim.Program from a spec; seed individualizes instances
-// of the same spec.
+// of the same spec. The returned program holds per-run state: spawn
+// each instance into exactly one process.
 func New(spec Spec, seed uint64) sim.Program {
 	if spec.Name == "" {
 		panic("workload: spec needs a name")
@@ -87,53 +135,73 @@ func New(spec Spec, seed uint64) sim.Program {
 // Name implements sim.Program.
 func (p *program) Name() string { return p.spec.Name }
 
-// Run implements sim.Program.
-func (p *program) Run(m *sim.Machine) {
-	rng := stats.NewRNG(p.seed ^ uint64(m.PID())<<32)
-	geo := m.Geometry()
-	spec := p.spec
-	addrs := make([]uint64, 0, spec.Lines)
-	cursor := uint64(0) // streaming cursor
-	periodic := 0       // periodic set cursor (resettable per burst)
-	periodicTotal := 0  // monotonic periodic touch counter
-	iterations := 0
-	nextStorm := spec.StormEvery
+// Run implements sim.Program for the goroutine reference driver by
+// replaying the identical step stream through the blocking API.
+func (p *program) Run(m *sim.Machine) { sim.RunSteps(p, m) }
+
+// Begin implements sim.Stepper.
+func (p *program) Begin(m *sim.Machine) {
+	p.m = m
+	p.rng = stats.NewRNG(p.seed ^ uint64(m.PID())<<32)
+	p.geo = m.Geometry()
+	p.addrs = make([]uint64, 0, p.spec.Lines)
+	p.nextStorm = p.spec.StormEvery
+	p.pc = wlBurstHeader
+}
+
+// Step implements sim.Stepper.
+func (p *program) Step(prev sim.OpResult) (sim.Op, bool) {
+	m, rng, spec := p.m, p.rng, &p.spec
 	for {
-		burst := spec.BurstIters
-		if burst <= 0 {
-			burst = 1
-		} else {
-			burst = burst/2 + rng.Intn(burst) // ragged burst lengths
-		}
-		scale := 1.0
-		if spec.BurstScale > 0 && spec.BurstScale < 1 {
-			scale = spec.BurstScale + rng.Float64()*(1-spec.BurstScale)
-		}
-		if spec.PeriodicSets > 0 && spec.BurstIters > 0 {
-			// Each burst opens a different file in the tree: the sweep
-			// restarts at a random position, so periodicity holds only
-			// within a burst — the paper's webserver shows exactly this
-			// brief periodicity that dies out at longer lags.
-			periodic = rng.Intn(spec.PeriodicSets)
-		}
-		for b := 0; b < burst; b++ {
+		switch p.pc {
+		case wlBurstHeader:
+			p.burst = spec.BurstIters
+			if p.burst <= 0 {
+				p.burst = 1
+			} else {
+				p.burst = p.burst/2 + rng.Intn(p.burst) // ragged burst lengths
+			}
+			p.scale = 1.0
+			if spec.BurstScale > 0 && spec.BurstScale < 1 {
+				p.scale = spec.BurstScale + rng.Float64()*(1-spec.BurstScale)
+			}
+			if spec.PeriodicSets > 0 && spec.BurstIters > 0 {
+				// Each burst opens a different file in the tree: the sweep
+				// restarts at a random position, so periodicity holds only
+				// within a burst — the paper's webserver shows exactly this
+				// brief periodicity that dies out at longer lags.
+				p.periodic = rng.Intn(spec.PeriodicSets)
+			}
+			p.b = 0
+			p.pc = wlCompute
+
+		case wlCompute:
+			if p.b >= p.burst {
+				p.pc = wlIdleNow
+				continue
+			}
 			if spec.ComputeCycles > 0 {
 				c := float64(spec.ComputeCycles)
 				if spec.ComputeJitter > 0 {
 					c *= 1 - spec.ComputeJitter + 2*spec.ComputeJitter*rng.Float64()
 				}
-				m.Compute(uint64(c))
+				p.pc = wlMem
+				return sim.Op{Kind: sim.OpCompute, Cycles: uint64(c)}, true
 			}
+			p.pc = wlMem
+
+		case wlMem:
 			// Real requests are ragged: file sizes, record counts and
 			// block runs vary per iteration. The jitter also prevents
 			// two paired instances from alternating in lockstep, which
 			// would fabricate run-length periodicity no real pair has.
 			n := 0
-			if base := int(float64(spec.Lines) * scale); base > 0 {
+			if base := int(float64(spec.Lines) * p.scale); base > 0 {
 				n = base/2 + rng.Intn(base+1)
 			}
+			p.pc = wlHot
 			if n > 0 && (spec.WorkingSetLines > 0 || spec.PeriodicSets > 0) {
-				addrs = addrs[:0]
+				addrs := p.addrs[:0]
 				switch {
 				case spec.PeriodicSets > 0:
 					// Walk the "directory tree": consecutive sets with
@@ -142,57 +210,116 @@ func (p *program) Run(m *sim.Machine) {
 					// sweep, so working pressure builds across sweeps
 					// rather than within one).
 					for i := 0; i < n; i++ {
-						set := uint32(periodic % spec.PeriodicSets)
+						set := uint32(p.periodic % spec.PeriodicSets)
 						if rng.Float64() < 0.08 {
 							set = uint32(rng.Intn(spec.PeriodicSets))
 						}
-						way := (periodicTotal / spec.PeriodicSets) % geo.L2Ways
-						addrs = append(addrs, m.L2AddrForSet(set%uint32(geo.L2Sets), way))
-						periodic++
-						periodicTotal++
+						way := (p.periodicTotal / spec.PeriodicSets) % p.geo.L2Ways
+						addrs = append(addrs, m.L2AddrForSet(set%uint32(p.geo.L2Sets), way))
+						p.periodic++
+						p.periodicTotal++
 					}
 				case spec.Streaming:
 					for i := 0; i < n; i++ {
-						addrs = append(addrs, m.PrivateAddr(cursor%uint64(spec.WorkingSetLines)))
-						cursor++
+						addrs = append(addrs, m.PrivateAddr(p.cursor%uint64(spec.WorkingSetLines)))
+						p.cursor++
 					}
 				default:
 					for i := 0; i < n; i++ {
 						addrs = append(addrs, m.PrivateAddr(uint64(rng.Intn(spec.WorkingSetLines))))
 					}
 				}
-				m.LoadN(addrs)
+				p.addrs = addrs
+				return sim.Op{Kind: sim.OpLoadN, Addrs: addrs}, true
 			}
+
+		case wlHot:
+			p.pc = wlDivs
 			if spec.HotLines > 0 {
-				addrs = addrs[:0]
+				addrs := p.addrs[:0]
 				for i := 0; i < 8; i++ {
-					addrs = append(addrs, m.PrivateAddr(1<<32|uint64((iterations*8+i)%spec.HotLines)))
+					addrs = append(addrs, m.PrivateAddr(1<<32|uint64((p.iterations*8+i)%spec.HotLines)))
 				}
-				m.LoadN(addrs)
+				p.addrs = addrs
+				return sim.Op{Kind: sim.OpLoadN, Addrs: addrs}, true
 			}
+
+		case wlDivs:
+			p.pc = wlAtomic
 			if spec.Divs > 0 {
-				m.DivN(int(float64(spec.Divs) * scale))
-			}
-			if spec.AtomicProb > 0 && rng.Float64() < spec.AtomicProb*scale {
-				m.AtomicUnaligned(0)
-			}
-			if spec.StormEvery > 0 {
-				if now := m.Now(); now >= nextStorm {
-					n := spec.StormLocks/2 + rng.Intn(spec.StormLocks)
-					for i := 0; i < n; i++ {
-						m.AtomicUnaligned(0)
-						if spec.StormSpacing > 0 {
-							m.Sleep(spec.StormSpacing/2 + uint64(rng.Intn(int(spec.StormSpacing))))
-						}
-					}
-					nextStorm = m.Now() + spec.StormEvery/2 + uint64(rng.Intn(int(spec.StormEvery)))
+				// Machine.DivN short-circuits a non-positive count without
+				// an engine round; mirror that skip here.
+				if n := int(float64(spec.Divs) * p.scale); n > 0 {
+					return sim.Op{Kind: sim.OpDivN, Count: n}, true
 				}
 			}
-			iterations++
-		}
-		if spec.IdleCycles > 0 {
-			gap := uint64(float64(spec.IdleCycles) * (0.5 + rng.Float64()))
-			m.Sleep(gap)
+
+		case wlAtomic:
+			p.pc = wlStormNow
+			if spec.AtomicProb > 0 && rng.Float64() < spec.AtomicProb*p.scale {
+				return sim.Op{Kind: sim.OpAtomicUnaligned}, true
+			}
+
+		case wlStormNow:
+			if spec.StormEvery > 0 {
+				p.pc = wlStormCheck
+				return sim.Op{Kind: sim.OpNow}, true
+			}
+			p.pc = wlIterEnd
+
+		case wlStormCheck:
+			if prev.Now >= p.nextStorm {
+				p.stormN = spec.StormLocks/2 + rng.Intn(spec.StormLocks)
+				p.pc = wlStormLock
+			} else {
+				p.pc = wlIterEnd
+			}
+
+		case wlStormLock:
+			if p.stormN > 0 {
+				p.stormN--
+				if spec.StormSpacing > 0 {
+					p.pc = wlStormGapNow
+				} else {
+					p.pc = wlStormLock
+				}
+				return sim.Op{Kind: sim.OpAtomicUnaligned}, true
+			}
+			p.pc = wlStormRenewNow
+
+		case wlStormGapNow:
+			p.sleepDur = spec.StormSpacing/2 + uint64(rng.Intn(int(spec.StormSpacing)))
+			p.pc = wlStormGapWait
+			return sim.Op{Kind: sim.OpNow}, true
+
+		case wlStormGapWait:
+			p.pc = wlStormLock
+			return sim.Op{Kind: sim.OpWaitUntil, Cycles: prev.Now + p.sleepDur}, true
+
+		case wlStormRenewNow:
+			p.pc = wlStormRenew
+			return sim.Op{Kind: sim.OpNow}, true
+
+		case wlStormRenew:
+			p.nextStorm = prev.Now + spec.StormEvery/2 + uint64(rng.Intn(int(spec.StormEvery)))
+			p.pc = wlIterEnd
+
+		case wlIterEnd:
+			p.iterations++
+			p.b++
+			p.pc = wlCompute
+
+		case wlIdleNow:
+			if spec.IdleCycles > 0 {
+				p.sleepDur = uint64(float64(spec.IdleCycles) * (0.5 + rng.Float64()))
+				p.pc = wlIdleWait
+				return sim.Op{Kind: sim.OpNow}, true
+			}
+			p.pc = wlBurstHeader
+
+		case wlIdleWait:
+			p.pc = wlBurstHeader
+			return sim.Op{Kind: sim.OpWaitUntil, Cycles: prev.Now + p.sleepDur}, true
 		}
 	}
 }

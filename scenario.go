@@ -12,6 +12,7 @@ import (
 	"cchunter/internal/mitigate"
 	"cchunter/internal/recorder"
 	"cchunter/internal/runner"
+	"cchunter/internal/shard"
 	"cchunter/internal/sim"
 	"cchunter/internal/stream"
 	"cchunter/internal/trace"
@@ -121,6 +122,15 @@ type Scenario struct {
 	// after the verdict for deterministic offline replay (see cctrace
 	// replay). Zero disables it.
 	FlightEvents int
+	// Pipelined moves event delivery off the engine's execution path:
+	// a shard conduit copies each batch into a recycled slab and ships
+	// it through a bounded lock-free SPSC ring to a consumer goroutine
+	// that owns the listeners (auditor, recorders), overlapping
+	// simulation with auditing. The ring is FIFO and drained before
+	// analysis, so every result is byte-identical to a synchronous run
+	// (pinned by the conduit equivalence tests); this is the per-shard
+	// delivery mode RunSharded and the experiments' shard lanes use.
+	Pipelined bool
 
 	// eventBatch overrides the simulator's event-delivery batch size
 	// (0 = default, 1 = per-event callbacks). Unexported: batching is
@@ -283,22 +293,35 @@ func (sc Scenario) Run() (*Result, error) {
 
 	// Streaming mode interposes the daemon between simulator and
 	// auditor; it forwards every event and drains continuously.
+	var listeners trace.Tee
 	var streamDet *stream.Detector
 	if sc.Stream {
 		streamDet = stream.New(aud, stream.Config{Detector: detCfg})
-		system.AddListener(streamDet)
+		listeners = append(listeners, streamDet)
 	} else {
-		system.AddListener(aud)
+		listeners = append(listeners, aud)
 	}
 	var flight *recorder.Recorder
 	if sc.FlightEvents != 0 {
 		flight = recorder.New(sc.FlightEvents)
-		system.AddListener(flight)
+		listeners = append(listeners, flight)
 	}
 	var raw *trace.Recorder
 	if cfg.RecordRaw {
 		raw = trace.NewRecorder()
-		system.AddListener(raw)
+		listeners = append(listeners, raw)
+	}
+	var conduit *shard.Conduit
+	if sc.Pipelined {
+		// Pipelined delivery: the conduit is the engine's only
+		// listener; the real consumers run on its goroutine and the
+		// drain below is the sim → analysis barrier.
+		conduit = shard.NewConduit(listeners, 0, sc.eventBatch)
+		system.AddListener(conduit)
+	} else {
+		for _, l := range listeners {
+			system.AddListener(l)
+		}
 	}
 
 	res := &Result{
@@ -341,6 +364,9 @@ func (sc Scenario) Run() (*Result, error) {
 	end := uint64(cfg.DurationQuanta) * cfg.QuantumCycles
 	simSpan := sc.Metrics.Timer("scenario.sim_ns").Start()
 	system.Run(end)
+	if conduit != nil {
+		conduit.Drain()
+	}
 	simSpan.End()
 
 	if fs, ok := system.FaultStats(); ok {

@@ -1,0 +1,119 @@
+package cchunter
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPipelinedMatchesSynchronous pins the conduit's invisibility at
+// the whole-pipeline level: a scenario with SPSC-pipelined event
+// delivery must produce a deeply equal Result — verdict, decoded bits,
+// histograms, trains, fault counters — to the synchronous run. Reuses
+// the batching equivalence corpus, which covers all three channels and
+// a faulted sensor path.
+func TestPipelinedMatchesSynchronous(t *testing.T) {
+	for name, sc := range batchingScenarios() {
+		sc := sc
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			want, err := sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			piped := sc
+			piped.Pipelined = true
+			got, err := piped.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Report.String() != want.Report.String() {
+				t.Errorf("pipelined report differs:\n%s\nvs synchronous:\n%s",
+					got.Report, want.Report)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("pipelined result differs from synchronous run")
+			}
+		})
+	}
+}
+
+// TestRunShardedMatchesSerial pins shard-count determinism: the same
+// scenario set run serially, on one shard lane, and on many lanes must
+// yield deeply equal results in input order.
+func TestRunShardedMatchesSerial(t *testing.T) {
+	scs := []Scenario{
+		{Channel: ChannelMemoryBus, BandwidthBPS: 1000,
+			Message: RandomMessage(12, 3), QuantumCycles: testQuantum},
+		{Channel: ChannelIntegerDivider, BandwidthBPS: 1000,
+			Message: RandomMessage(12, 4), QuantumCycles: testQuantum},
+		{Channel: ChannelMemoryBus, BandwidthBPS: 2000,
+			Message: RandomMessage(12, 5), QuantumCycles: testQuantum, Seed: 7},
+		{Channel: ChannelNone, Workloads: []string{"gobmk"},
+			DurationQuanta: 2, QuantumCycles: testQuantum},
+	}
+	want := make([]*Result, len(scs))
+	for i, sc := range scs {
+		r, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	for _, shards := range []int{1, 3, 8} {
+		got, err := RunSharded(shards, scs)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d results, want %d", shards, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Report.String() != want[i].Report.String() {
+				t.Errorf("shards=%d: scenario %d report differs:\n%s\nvs serial:\n%s",
+					shards, i, got[i].Report, want[i].Report)
+			}
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("shards=%d: scenario %d result differs from serial run", shards, i)
+			}
+		}
+	}
+}
+
+// FuzzShardedEquivalence fuzzes scenario parameters and asserts the
+// sharded (pipelined SPSC delivery) run is byte-identical to the
+// single-engine synchronous run — the tentpole's determinism contract
+// under adversarial message/seed/bandwidth combinations.
+func FuzzShardedEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(0))
+	f.Add(uint64(42), uint8(16), uint8(1))
+	f.Add(uint64(0xdead), uint8(4), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, bits uint8, channel uint8) {
+		nbits := int(bits%12) + 4
+		ch := []Channel{ChannelMemoryBus, ChannelIntegerDivider, ChannelSharedCache}[channel%3]
+		sc := Scenario{
+			Channel:       ch,
+			BandwidthBPS:  1000,
+			Message:       RandomMessage(nbits, seed|1),
+			QuantumCycles: testQuantum,
+			Seed:          seed | 1,
+		}
+		if ch == ChannelSharedCache {
+			sc.CacheSets = 128
+			sc.Message = RandomMessage(nbits%8+2, seed|1)
+		}
+		want, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		piped := sc
+		piped.Pipelined = true
+		got, err := piped.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sharded (pipelined) output differs from single-engine run "+
+				"(seed=%d bits=%d channel=%v)", seed, nbits, ch)
+		}
+	})
+}

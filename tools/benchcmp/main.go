@@ -5,6 +5,7 @@
 //
 //	benchcmp -baseline BENCH_baseline.json -current BENCH_pipeline.json
 //	         [-tolerance 0.20] [-alloc-tolerance 0.20] [-metric-tolerance 1e-6]
+//	         [-alloc-ceiling 6=100000,8=200000]
 //
 // Wall-clock comparison across machines is done through each report's
 // calibration workload: the baseline's ns are scaled by the ratio of
@@ -22,6 +23,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"cchunter/internal/experiments"
 )
@@ -32,6 +35,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.20, "allowed relative ns regression after calibration scaling")
 	allocTol := flag.Float64("alloc-tolerance", -1, "allowed relative allocs/bytes regression (defaults to -tolerance)")
 	metricTol := flag.Float64("metric-tolerance", 1e-6, "allowed relative drift in detection metrics")
+	allocCeil := flag.String("alloc-ceiling", "", "comma-separated fig=maxAllocs absolute ceilings (e.g. 6=100000): a figure exceeding its ceiling fails regardless of baseline ratios, pinning allocation-flatness against baseline drift")
 	flag.Parse()
 	if *allocTol < 0 {
 		*allocTol = *tolerance
@@ -55,6 +59,11 @@ func main() {
 	base := map[string]experiments.BenchFigure{}
 	for _, f := range baseline.Figures {
 		base[f.ID] = f
+	}
+
+	ceilings, err := parseCeilings(*allocCeil)
+	if err != nil {
+		fatal(err)
 	}
 
 	failures := 0
@@ -93,11 +102,26 @@ func main() {
 				failures++
 			}
 		}
+		if limit, ok := ceilings[cur.ID]; ok {
+			if cur.Allocs > limit {
+				fmt.Printf("fig %-3s ALLOC-CEILING    %d > %d\n", cur.ID, cur.Allocs, limit)
+				failures++
+			} else {
+				fmt.Printf("fig %-3s allocs %d within ceiling %d\n", cur.ID, cur.Allocs, limit)
+			}
+		}
 		failures += compareMetrics(cur.ID, b.Metrics, cur.Metrics, *metricTol)
 	}
 	for _, b := range baseline.Figures {
 		if !seen[b.ID] {
 			fmt.Printf("fig %-3s MISSING from current report\n", b.ID)
+			failures++
+		}
+	}
+	for id := range ceilings {
+		if !seen[id] {
+			// A ceiling on an absent figure would silently gate nothing.
+			fmt.Printf("fig %-3s ALLOC-CEILING set but figure missing from current report\n", id)
 			failures++
 		}
 	}
@@ -152,4 +176,25 @@ func readReport(path string) (experiments.BenchReport, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchcmp:", err)
 	os.Exit(1)
+}
+
+// parseCeilings parses the -alloc-ceiling spec: comma-separated
+// fig=maxAllocs pairs.
+func parseCeilings(spec string) (map[string]uint64, error) {
+	out := map[string]uint64{}
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		id, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("bad -alloc-ceiling entry %q (want fig=maxAllocs)", part)
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -alloc-ceiling limit %q: %v", part, err)
+		}
+		out[id] = n
+	}
+	return out, nil
 }
