@@ -30,6 +30,18 @@ func batchingScenarios() map[string]Scenario {
 			CacheSets:     256,
 			QuantumCycles: testQuantum,
 		},
+		"ring": {
+			Channel:       ChannelRingInterconnect,
+			BandwidthBPS:  1000,
+			Message:       RandomMessage(12, 9),
+			QuantumCycles: testQuantum,
+		},
+		"tlb": {
+			Channel:       ChannelTLB,
+			BandwidthBPS:  1000,
+			Message:       RandomMessage(16, 13),
+			QuantumCycles: testQuantum,
+		},
 		"bus-faulted": {
 			Channel:       ChannelMemoryBus,
 			BandwidthBPS:  1000,

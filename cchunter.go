@@ -39,12 +39,17 @@ import (
 type Channel string
 
 // The covert channels the paper evaluates, plus ChannelNone for
-// benign/false-alarm scenarios.
+// benign/false-alarm scenarios and two post-paper channels on the same
+// detection machinery: the slotted ring interconnect (cross-core slice
+// traffic) and the hyperthread-shared TLB (accessed-translation
+// evictions).
 const (
-	ChannelNone           Channel = "none"
-	ChannelMemoryBus      Channel = "bus"
-	ChannelIntegerDivider Channel = "divider"
-	ChannelSharedCache    Channel = "cache"
+	ChannelNone             Channel = "none"
+	ChannelMemoryBus        Channel = "bus"
+	ChannelIntegerDivider   Channel = "divider"
+	ChannelSharedCache      Channel = "cache"
+	ChannelRingInterconnect Channel = "ring"
+	ChannelTLB              Channel = "tlb"
 )
 
 // RandomMessage generates an n-bit random message, the experiments'

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	cchunt -channel bus|divider|cache|none [-bps 1000] [-bits 64]
+//	cchunt -channel bus|divider|cache|ring|tlb|none [-bps 1000] [-bits 64]
 //	       [-sets 512] [-workloads gobmk,sjeng] [-quanta 0]
 //	       [-quantum 250000000] [-divisor 1] [-ideal] [-seed 1]
 //	       [-faults drop=0.05,jitter=200] [-v] [-metrics-addr :8080]
+//	       [-evade-jitter 0] [-evade-duty 0] [-fec]
 //	       [-stream] [-start-quanta 0] [-watchdog 30s] [-record flight.json]
 //	       [-no-pool] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -14,8 +15,11 @@
 //
 //	cchunt -channel bus -bps 1000            # detect a bus channel
 //	cchunt -channel cache -sets 256 -v       # cache channel, verbose
+//	cchunt -channel ring                     # ring-interconnect channel
+//	cchunt -channel tlb -fec                 # TLB channel, FEC-framed
 //	cchunt -channel none -workloads stream,stream   # false-alarm check
 //	cchunt -channel bus -faults drop=0.05    # degraded sensor path
+//	cchunt -channel bus -evade-duty 0.06     # adaptive evader vs detector
 //	cchunt -channel cache -metrics-addr :8080   # live pipeline metrics
 package main
 
@@ -34,7 +38,7 @@ import (
 )
 
 func main() {
-	channel := flag.String("channel", "bus", "covert channel: bus, divider, cache, none")
+	channel := flag.String("channel", "bus", "covert channel: bus, divider, cache, ring, tlb, none")
 	bps := flag.Float64("bps", 1000, "channel bandwidth in bits per second")
 	bits := flag.Int("bits", 64, "random message length in bits")
 	sets := flag.Int("sets", 512, "cache sets used by the cache channel")
@@ -49,6 +53,9 @@ func main() {
 	faultSpec := flag.String("faults", "", "sensor fault spec, comma-separated key=value (keys: "+
 		strings.Join(cchunter.FaultSpecKeys(), ", ")+")")
 	seed := flag.Uint64("seed", 1, "random seed")
+	evadeJitter := flag.Float64("evade-jitter", 0, "adaptive evader period jitter in [0, 0.5] (0 = strictly periodic slots)")
+	evadeDuty := flag.Float64("evade-duty", 0, "adaptive evader amplitude duty cycle in (0, 1] (0 = full amplitude)")
+	fec := flag.Bool("fec", false, "frame the message with two-layer FEC (Berger-checked words + XOR group parity)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live pipeline metrics as JSON on this address (e.g. :8080) for the duration of the run")
 	streamMode := flag.Bool("stream", false, "streaming bounded-memory detection (verdict identical; adds onset estimates)")
 	pipelined := flag.Bool("pipelined", false, "pipeline event delivery to the auditor through an SPSC ring on its own goroutine (verdict byte-identical)")
@@ -70,9 +77,9 @@ func main() {
 	// Validate enumerated flags up front: a typo'd channel or mitigation
 	// is a usage error (exit 2 with usage), not a runtime failure.
 	switch *channel {
-	case "bus", "divider", "cache", "none", "":
+	case "bus", "divider", "cache", "ring", "tlb", "none", "":
 	default:
-		usageError("unknown channel %q (want bus, divider, cache, or none)", *channel)
+		usageError("unknown channel %q (want bus, divider, cache, ring, tlb, or none)", *channel)
 	}
 	switch *mitigation {
 	case "", "buslimit", "partition", "tdm", "clockfuzz":
@@ -100,6 +107,9 @@ func main() {
 		Stream:             *streamMode,
 		Pipelined:          *pipelined,
 		Watchdog:           *watchdog,
+		EvaderJitter:       *evadeJitter,
+		EvaderDuty:         *evadeDuty,
+		FECFrame:           *fec,
 	}
 	if *record != "" {
 		sc.FlightEvents = -1 // default ring capacity

@@ -9,8 +9,9 @@
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Figure ids: 2 3 4 5 6 7 8 10 11 12 13 14, "t1" for Table I, "m"
-// for the mitigation study, "e" for the evasion study, and "r" for
-// the sensor fault robustness sweep.
+// for the mitigation study, "e" for the evasion study plus the
+// detection-vs-evasion frontier (adaptive jitter/duty evaders on all
+// five channels), and "r" for the sensor fault robustness sweep.
 // -scale 1 runs at full paper scale (slow); the default 100× preserves
 // every quantity the detector depends on (see DESIGN.md).
 // -j N runs figures (and their internal sweeps) on N workers; output
@@ -52,7 +53,7 @@ type stepOutput struct {
 }
 
 func main() {
-	figs := flag.String("fig", "all", "comma-separated figure ids (2..14, t1, m=mitigation, e=evasion, r=robustness) or 'all'")
+	figs := flag.String("fig", "all", "comma-separated figure ids (2..14, t1, m=mitigation, e=evasion+frontier, r=robustness) or 'all'")
 	outDir := flag.String("out", "out", "directory for CSV output")
 	scale := flag.Float64("scale", 100, "time scale (1 = full paper scale)")
 	seed := flag.Uint64("seed", 1, "random seed")

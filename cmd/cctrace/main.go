@@ -5,7 +5,7 @@
 // Usage:
 //
 //	cctrace -channel bus [-bps 1000] [-bits 16] [-out trace.csv]
-//	        [-kind all|bus-lock|div-contention|conflict-miss]
+//	        [-kind all|bus-lock|div-contention|conflict-miss|ring-contention|tlb-conflict]
 //	        [-ascii]
 //	cctrace replay -in flight.json [-stream] [-json]
 package main
@@ -25,7 +25,7 @@ func main() {
 		replayMain(os.Args[2:])
 		return
 	}
-	channel := flag.String("channel", "bus", "covert channel: bus, divider, cache, none")
+	channel := flag.String("channel", "bus", "covert channel: bus, divider, cache, ring, tlb, none")
 	bps := flag.Float64("bps", 1000, "channel bandwidth in bits per second")
 	bits := flag.Int("bits", 16, "random message length")
 	sets := flag.Int("sets", 512, "cache sets for the cache channel")
@@ -33,7 +33,7 @@ func main() {
 	quanta := flag.Int("quanta", 0, "observation quanta (0 = auto)")
 	quantum := flag.Uint64("quantum", 0, "OS time quantum in cycles (0 = 250M)")
 	out := flag.String("out", "", "CSV output path (default stdout)")
-	kind := flag.String("kind", "all", "event kind filter: all, bus-lock, div-contention, conflict-miss")
+	kind := flag.String("kind", "all", "event kind filter: all, bus-lock, div-contention, conflict-miss, ring-contention, tlb-conflict")
 	ascii := flag.Bool("ascii", false, "print an ASCII raster instead of CSV")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
@@ -69,6 +69,10 @@ func main() {
 		train = train.FilterKind(cchunter.EventDivContention)
 	case cchunter.EventConflictMiss.String():
 		train = train.FilterKind(cchunter.EventConflictMiss)
+	case cchunter.EventRingContention.String():
+		train = train.FilterKind(cchunter.EventRingContention)
+	case cchunter.EventTLBConflict.String():
+		train = train.FilterKind(cchunter.EventTLBConflict)
 	default:
 		fmt.Fprintf(os.Stderr, "cctrace: unknown kind %q\n", *kind)
 		os.Exit(2)

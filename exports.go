@@ -114,15 +114,19 @@ func FaultSpecKeys() []string { return faults.SpecKeys() }
 
 // Indicator event kinds.
 const (
-	EventBusLock       = trace.KindBusLock
-	EventDivContention = trace.KindDivContention
-	EventConflictMiss  = trace.KindConflictMiss
+	EventBusLock        = trace.KindBusLock
+	EventDivContention  = trace.KindDivContention
+	EventConflictMiss   = trace.KindConflictMiss
+	EventRingContention = trace.KindRingContention
+	EventTLBConflict    = trace.KindTLBConflict
 )
 
 // Paper-calibrated observation windows.
 const (
 	DeltaTBus     = core.DeltaTBus
 	DeltaTDivider = core.DeltaTDivider
+	DeltaTRing    = core.DeltaTRing
+	DeltaTTLB     = core.DeltaTTLB
 )
 
 // EstimateAuditorCost computes the CC-Auditor hardware cost model

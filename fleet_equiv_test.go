@@ -30,8 +30,10 @@ func TestFleetPathMatchesGoldenCorpus(t *testing.T) {
 				t.Fatal("scenario recorded no raw train")
 			}
 
+			// The fleet shard must program the same monitoring pair the
+			// scenario did, or the ring/tlb events fall on deaf slots.
 			rep, err := fleet.AnalyzeTrain(res.RawTrain.Events(),
-				res.QuantumCycles, res.Contexts, res.EndCycle)
+				res.QuantumCycles, res.Contexts, res.EndCycle, tc.sc.monitorKinds()...)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -80,6 +80,20 @@ func TestGoldenVerdicts(t *testing.T) {
 			QuantumCycles: 25_000_000,
 			Seed:          7,
 		}},
+		{"ring", Scenario{
+			Channel:       ChannelRingInterconnect,
+			BandwidthBPS:  1000,
+			Message:       RandomMessage(12, 9),
+			QuantumCycles: testQuantum,
+			Seed:          9,
+		}},
+		{"tlb", Scenario{
+			Channel:       ChannelTLB,
+			BandwidthBPS:  1000,
+			Message:       RandomMessage(16, 13),
+			QuantumCycles: testQuantum,
+			Seed:          13,
+		}},
 		{"benign", Scenario{
 			Channel:        ChannelNone,
 			Workloads:      []string{"gobmk", "sjeng", "bzip2", "h264ref"},

@@ -106,12 +106,12 @@ func (t *BusTrojan) Step(prev sim.OpResult) (sim.Op, bool) {
 				return sim.Op{}, false
 			}
 			t.bit = bit
-			t.start = t.cfg.Start + uint64(t.i)*t.slot
+			t.start = t.cfg.Start + uint64(t.i)*t.slot + t.cfg.slotJitter(t.i, t.slot)
 			t.pc = btGate
 			return sim.Op{Kind: sim.OpWaitUntil, Cycles: t.start}, true
 
 		case btGate:
-			t.spacing = t.cfg.LockSpacing
+			t.spacing = t.cfg.dutySpacing(t.cfg.LockSpacing)
 			if t.bit == 0 {
 				if t.cfg.EvasionNoise <= 0 || t.rng.Float64() >= t.cfg.EvasionNoise {
 					t.i++
@@ -119,7 +119,7 @@ func (t *BusTrojan) Step(prev sim.OpResult) (sim.Op, bool) {
 					continue
 				}
 				// Camouflage: a burst of random (lower) intensity.
-				t.spacing *= uint64(1 + t.rng.Intn(3))
+				t.spacing = t.cfg.dutySpacing(t.cfg.LockSpacing * uint64(1+t.rng.Intn(3)))
 			}
 			t.k = 0
 			t.pc = btBurst
@@ -205,7 +205,7 @@ func (s *BusSpy) Step(prev sim.OpResult) (sim.Op, bool) {
 			if _, done := s.cfg.bitAt(s.i); done {
 				return sim.Op{}, false
 			}
-			s.start = s.cfg.Start + uint64(s.i)*s.slot
+			s.start = s.cfg.Start + uint64(s.i)*s.slot + s.cfg.slotJitter(s.i, s.slot)
 			s.total = 0
 			s.k = 0
 			s.pc = bsSample

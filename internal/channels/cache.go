@@ -130,7 +130,7 @@ func (t *CacheTrojan) Step(prev sim.OpResult) (sim.Op, bool) {
 			}
 			// Slot 0 is the spy's warm-up prime; transmission starts at
 			// slot 1.
-			t.start = t.cfg.Start + uint64(t.i+1)*t.slot
+			t.start = t.cfg.Start + uint64(t.i+1)*t.slot + t.cfg.slotJitter(t.i, t.slot)
 			t.group = t.g1
 			if bit == 0 {
 				t.group = t.g0
@@ -148,7 +148,15 @@ func (t *CacheTrojan) Step(prev sim.OpResult) (sim.Op, bool) {
 			t.pc = ctSlot
 
 		case ctSet:
-			if t.setIdx < len(t.group) {
+			for t.setIdx < len(t.group) {
+				// Amplitude duty cycle: a keyed (1-DutyFrac) share of the
+				// set primes is skipped, thinning the conflict train and
+				// varying the events-per-round count the oscillation
+				// detector locks onto.
+				if t.cfg.dutySkip(t.i, t.r*len(t.group)+t.setIdx) {
+					t.setIdx++
+					continue
+				}
 				set := t.group[t.setIdx]
 				for w := range t.addrs {
 					t.addrs[w] = t.m.L2AddrForSet(set, w)
@@ -261,7 +269,7 @@ func (s *CacheSpy) Step(prev sim.OpResult) (sim.Op, bool) {
 			if _, done := s.cfg.bitAt(s.i); done {
 				return sim.Op{}, false
 			}
-			s.start = s.cfg.Start + uint64(s.i+1)*s.slot
+			s.start = s.cfg.Start + uint64(s.i+1)*s.slot + s.cfg.slotJitter(s.i, s.slot)
 			s.lat1, s.lat0 = 0, 0
 			s.r = 0
 			s.pc = csRound

@@ -38,6 +38,101 @@ type Protocol struct {
 	// Seed parameterizes dynamic choices (e.g. which cache sets carry
 	// the cache channel).
 	Seed uint64
+	// Evader parameterizes the adaptive sender sweeping against the
+	// auditor; the zero value transmits exactly as before.
+	Evader Evader
+}
+
+// Evader is the adaptive-sender parameterization (after "Towards a
+// Better Indicator for Cache Timing Channels"): senders that modulate
+// their period and amplitude to slide under recurrence detectors.
+// Trojan and spy share the Protocol, so both derive identical slot
+// offsets and pacing — evasion costs detection confidence, not (much)
+// channel fidelity.
+type Evader struct {
+	// JitterFrac shifts every bit slot's active phase by a
+	// seed-and-slot-keyed pseudorandom offset of up to this fraction
+	// of the slot, breaking the train's strict periodicity. Must be
+	// in [0, 0.5]; 0 disables jitter.
+	JitterFrac float64
+	// DutyFrac is the amplitude duty cycle in (0, 1]: the sender thins
+	// its contention to this fraction of its natural event rate
+	// (inflated intra-burst spacing, skipped priming rounds), draining
+	// the per-Δt densities the burst detector feeds on. 0 or 1 means
+	// full amplitude.
+	DutyFrac float64
+}
+
+// active reports whether the evader changes anything.
+func (e Evader) active() bool {
+	return e.JitterFrac > 0 || (e.DutyFrac > 0 && e.DutyFrac < 1)
+}
+
+// validate panics on out-of-range evader parameters.
+func (e Evader) validate() {
+	if e.JitterFrac < 0 || e.JitterFrac > 0.5 {
+		panic("channels: JitterFrac must be in [0, 0.5]")
+	}
+	if e.DutyFrac < 0 || e.DutyFrac > 1 {
+		panic("channels: DutyFrac must be in [0, 1]")
+	}
+}
+
+// hash64 is SplitMix64's finalizer — the keyed draw behind the
+// evader's per-slot choices. Pure arithmetic: no allocation, no state.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// slotJitter returns the evader's phase offset for global slot i, in
+// [0, JitterFrac×slot). Both ends of the channel call it with the same
+// protocol, so the shifted slots stay aligned.
+func (p Protocol) slotJitter(i int, slot uint64) uint64 {
+	f := p.Evader.JitterFrac
+	if f <= 0 {
+		return 0
+	}
+	span := uint64(f * float64(slot))
+	if span == 0 {
+		return 0
+	}
+	return hash64(p.Seed^uint64(i)*0x9e3779b97f4a7c15) % span
+}
+
+// dutyGap returns the idle stretch the sender inserts after an op of
+// the given latency so its event rate scales by DutyFrac: at duty d,
+// rate×d means a gap of latency×(1-d)/d.
+func (p Protocol) dutyGap(latency uint64) uint64 {
+	d := p.Evader.DutyFrac
+	if d <= 0 || d >= 1 {
+		return 0
+	}
+	return uint64(float64(latency) * (1 - d) / d)
+}
+
+// dutySpacing inflates a fixed intra-burst event spacing by
+// 1/DutyFrac, thinning the event rate to the duty cycle.
+func (p Protocol) dutySpacing(spacing uint64) uint64 {
+	d := p.Evader.DutyFrac
+	if d <= 0 || d >= 1 {
+		return spacing
+	}
+	return uint64(float64(spacing) / d)
+}
+
+// dutySkip reports whether the evader drops sub-unit n of slot i (a
+// priming round, a probe): at duty d a pseudorandom (1-d) share of
+// them is skipped, keyed so the pattern never repeats across slots.
+func (p Protocol) dutySkip(i, n int) bool {
+	d := p.Evader.DutyFrac
+	if d <= 0 || d >= 1 {
+		return false
+	}
+	x := hash64(p.Seed ^ uint64(i)<<32 ^ uint64(n))
+	return float64(x>>11)/(1<<53) >= d
 }
 
 // validate panics on unusable protocol parameters: channel
@@ -54,6 +149,7 @@ func (p Protocol) validate() {
 			panic("channels: message bits must be 0 or 1")
 		}
 	}
+	p.Evader.validate()
 }
 
 // slotCycles returns the bit-slot length for the machine geometry.

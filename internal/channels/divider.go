@@ -37,13 +37,14 @@ func DefaultDivConfig(message []int, bps float64) DivConfig {
 type DivTrojan struct {
 	cfg DivConfig
 
-	slot  uint64
-	burst uint64
-	i     int    // slot index
-	bit   int    // bit for the current slot
-	start uint64 // current slot start cycle
-	now   uint64 // last observed clock
-	pc    int
+	slot   uint64
+	burst  uint64
+	i      int    // slot index
+	bit    int    // bit for the current slot
+	start  uint64 // current slot start cycle
+	now    uint64 // last observed clock
+	divLat uint64 // latency of the last division (evader pacing)
+	pc     int
 }
 
 // DivTrojan states.
@@ -54,6 +55,7 @@ const (
 	dtDiv            // one division (followed by a clock read)
 	dtNow            // issue the clock read
 	dtNowDone        // record the clock read
+	dtGapDone        // return from the evader's duty-cycle idle gap
 )
 
 // NewDivTrojan builds the transmitter.
@@ -89,7 +91,7 @@ func (t *DivTrojan) Step(prev sim.OpResult) (sim.Op, bool) {
 				return sim.Op{}, false
 			}
 			t.bit = bit
-			t.start = t.cfg.Start + uint64(t.i)*t.slot
+			t.start = t.cfg.Start + uint64(t.i)*t.slot + t.cfg.slotJitter(t.i, t.slot)
 			t.pc = dtGate
 			return sim.Op{Kind: sim.OpWaitUntil, Cycles: t.start}, true
 
@@ -117,10 +119,21 @@ func (t *DivTrojan) Step(prev sim.OpResult) (sim.Op, bool) {
 			return sim.Op{Kind: sim.OpDiv}, true
 
 		case dtNow:
+			t.divLat = prev.Latency
 			t.pc = dtNowDone
 			return sim.Op{Kind: sim.OpNow}, true
 
 		case dtNowDone:
+			t.now = prev.Now
+			if gap := t.cfg.dutyGap(t.divLat); gap > 0 {
+				// Amplitude duty cycle: idle after each division so the
+				// contention rate scales to DutyFrac.
+				t.pc = dtGapDone
+				return sim.Op{Kind: sim.OpWaitUntil, Cycles: t.now + gap}, true
+			}
+			t.pc = dtLoop
+
+		case dtGapDone:
 			t.now = prev.Now
 			t.pc = dtLoop
 		}
@@ -189,7 +202,7 @@ func (s *DivSpy) Step(prev sim.OpResult) (sim.Op, bool) {
 			if _, done := s.cfg.bitAt(s.i); done {
 				return sim.Op{}, false
 			}
-			s.start = s.cfg.Start + uint64(s.i)*s.slot
+			s.start = s.cfg.Start + uint64(s.i)*s.slot + s.cfg.slotJitter(s.i, s.slot)
 			s.pc = dsGate
 			return sim.Op{Kind: sim.OpWaitUntil, Cycles: s.start}, true
 

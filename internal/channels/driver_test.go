@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"cchunter/internal/ring"
 	"cchunter/internal/sim"
 	"cchunter/internal/trace"
 )
@@ -24,6 +25,9 @@ func TestDriversProduceIdenticalChannels(t *testing.T) {
 	run := func(channel string, driver sim.Driver) outcome {
 		cfg := sim.TestConfig()
 		cfg.Driver = driver
+		if channel == "ring" {
+			cfg.Ring = ring.DefaultConfig()
+		}
 		s := sim.MustNew(cfg)
 		defer s.Close()
 		rec := trace.NewRecorder()
@@ -55,11 +59,25 @@ func TestDriversProduceIdenticalChannels(t *testing.T) {
 			s.Spawn(spy, sim.Pin(1))
 			dur = uint64(len(msg)+2) * c.slotCycles(s.Geometry())
 			decoded, series = spy.Decoded, spy.PerBitRatio
+		case "ring":
+			c := DefaultRingConfig(msg, 25_000)
+			spy := NewRingSpy(c)
+			s.Spawn(NewRingTrojan(c), sim.Pin(0))
+			s.Spawn(spy, sim.Pin(2))
+			dur = uint64(len(msg)+1) * c.slotCycles(s.Geometry())
+			decoded, series = spy.Decoded, spy.PerBitSlowFrac
+		case "tlb":
+			c := DefaultTLBConfig(msg, 25_000)
+			spy := NewTLBSpy(c)
+			s.Spawn(NewTLBTrojan(c), sim.Pin(0))
+			s.Spawn(spy, sim.Pin(1))
+			dur = uint64(len(msg)/c.SymbolBits+2) * c.symbolSlot(s.Geometry())
+			decoded, series = spy.Decoded, spy.PerSymbolMissFrac
 		}
 		s.Run(dur)
 		return outcome{decoded(), series(), rec.Train().Events()}
 	}
-	for _, channel := range []string{"bus", "div", "cache"} {
+	for _, channel := range []string{"bus", "div", "cache", "ring", "tlb"} {
 		t.Run(channel, func(t *testing.T) {
 			step := run(channel, sim.DriverStep)
 			ref := run(channel, sim.DriverGoroutine)

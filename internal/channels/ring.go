@@ -1,0 +1,320 @@
+package channels
+
+import "cchunter/internal/sim"
+
+// RingConfig configures the ring-interconnect covert channel (after
+// the lord-of-the-ring cross-core attacks). Trojan and spy run on
+// *different cores* whose ring paths to a common LLC slice overlap:
+// with the default four-stop ring the trojan on core 0 and the spy on
+// core 1 both route clockwise to the slice two stops from the trojan,
+// sharing the spy-side segment.
+type RingConfig struct {
+	Protocol
+	// LinesPerSide is each endpoint's working-set size in cache lines.
+	// All lines map to one L1 set (more lines than L1 ways, so every
+	// access misses L1 and transits the ring) and to per-line L2 sets
+	// (so after warm-up every access is an L2 hit with a fixed,
+	// deterministic latency).
+	LinesPerSide int
+	// MaxBurstCycles caps the per-bit active phase.
+	MaxBurstCycles uint64
+	// SlowFracDen is the spy's decision denominator: a slot decodes as
+	// '1' when more than 1/SlowFracDen of its samples were slower than
+	// the calibrated uncontended baseline.
+	SlowFracDen int
+}
+
+// DefaultRingConfig returns a ring channel carrying message bits at
+// bps bits per second.
+func DefaultRingConfig(message []int, bps float64) RingConfig {
+	return RingConfig{
+		Protocol:       Protocol{Message: message, BPS: bps, Start: 0, Seed: 1},
+		LinesPerSide:   16,
+		MaxBurstCycles: 500_000,
+		SlowFracDen:    8,
+	}
+}
+
+// ringLineIndex maps working-set slot j of a program to a private line
+// index that (a) keeps every line in one L1 set — the low L1-set bits
+// are the constant `slice` — and (b) lands on ring slice `slice`, for
+// any power-of-two L1 set count that is a multiple of the stop count.
+func ringLineIndex(j, l1Sets, slice int) uint64 {
+	return uint64(j*l1Sets + slice)
+}
+
+// ringTargetSlice picks the contended slice: the stop diametrically
+// across from the trojan's core-0 stop, so the trojan's clockwise path
+// covers the spy's (core 1) single clockwise hop into the slice.
+func ringTargetSlice(stops int) int {
+	return stops / 2
+}
+
+// RingTrojan transmits by hammering loads across the ring into the
+// shared slice during '1' slots, occupying the ring segments the spy's
+// probes must cross. It is a sim.Stepper.
+type RingTrojan struct {
+	cfg RingConfig
+
+	m     *sim.Machine
+	slot  uint64
+	burst uint64
+	slice int
+	i     int    // slot index
+	bit   int    // bit for the current slot
+	j     int    // working-set cursor
+	start uint64 // current slot start cycle
+	now   uint64 // last observed clock
+	pc    int
+}
+
+// RingTrojan states.
+const (
+	rtSlot     = iota // decode next bit, wait for its slot
+	rtGate            // skip '0' slots after the slot wait
+	rtLoop            // burst-bound check
+	rtLoad            // one load through the ring
+	rtLoadDone        // record the clock, pace the evader's duty gap
+	rtGapDone         // return from the duty-cycle idle gap
+)
+
+// NewRingTrojan builds the transmitter.
+func NewRingTrojan(cfg RingConfig) *RingTrojan {
+	cfg.Protocol.validate()
+	if cfg.LinesPerSide <= 0 || cfg.MaxBurstCycles == 0 {
+		panic("channels: ring trojan needs LinesPerSide and MaxBurstCycles")
+	}
+	return &RingTrojan{cfg: cfg}
+}
+
+// Name implements sim.Program.
+func (t *RingTrojan) Name() string { return "ring-trojan" }
+
+// Run implements sim.Program via the goroutine reference driver.
+func (t *RingTrojan) Run(m *sim.Machine) { sim.RunSteps(t, m) }
+
+// Begin implements sim.Stepper.
+func (t *RingTrojan) Begin(m *sim.Machine) {
+	geo := m.Geometry()
+	if geo.RingStops <= 0 {
+		panic("channels: ring channel needs the ring interconnect enabled")
+	}
+	t.m = m
+	t.slot = t.cfg.slotCycles(geo)
+	t.burst = minU64(t.slot, t.cfg.MaxBurstCycles)
+	t.slice = ringTargetSlice(geo.RingStops)
+	t.pc = rtSlot
+}
+
+// addr returns the next working-set address, cycling the set so every
+// load misses L1 and transits the ring.
+func (t *RingTrojan) addr() uint64 {
+	geo := t.m.Geometry()
+	a := t.m.PrivateAddr(ringLineIndex(t.j, geo.L1Sets, t.slice))
+	t.j++
+	if t.j == t.cfg.LinesPerSide {
+		t.j = 0
+	}
+	return a
+}
+
+// Step implements sim.Stepper.
+func (t *RingTrojan) Step(prev sim.OpResult) (sim.Op, bool) {
+	for {
+		switch t.pc {
+		case rtSlot:
+			bit, done := t.cfg.bitAt(t.i)
+			if done {
+				return sim.Op{}, false
+			}
+			t.bit = bit
+			t.start = t.cfg.Start + uint64(t.i)*t.slot + t.cfg.slotJitter(t.i, t.slot)
+			t.pc = rtGate
+			return sim.Op{Kind: sim.OpWaitUntil, Cycles: t.start}, true
+
+		case rtGate:
+			t.now = prev.Now
+			if t.bit == 0 {
+				t.i++
+				t.pc = rtSlot // quiet ring signals '0'
+				continue
+			}
+			t.pc = rtLoop
+
+		case rtLoop:
+			if t.now < t.start+t.burst {
+				t.pc = rtLoad
+				continue
+			}
+			t.i++
+			t.pc = rtSlot
+
+		case rtLoad:
+			t.pc = rtLoadDone
+			return sim.Op{Kind: sim.OpLoad, Addr: t.addr()}, true
+
+		case rtLoadDone:
+			t.now = prev.Now
+			if gap := t.cfg.dutyGap(prev.Latency); gap > 0 {
+				t.pc = rtGapDone
+				return sim.Op{Kind: sim.OpWaitUntil, Cycles: t.now + gap}, true
+			}
+			t.pc = rtLoop
+
+		case rtGapDone:
+			t.now = prev.Now
+			t.pc = rtLoop
+		}
+	}
+}
+
+// RingSpy decodes by timing its own ring transits into the shared
+// slice: a probe that waits on a segment the trojan occupies comes
+// back slower than the calibrated uncontended baseline. It is a
+// sim.Stepper.
+type RingSpy struct {
+	cfg     RingConfig
+	decoded []int
+	// perBitSlowFrac is the fraction of each slot's probes that ran
+	// slower than baseline — the channel's per-bit observable.
+	perBitSlowFrac []float64
+
+	m       *sim.Machine
+	slot    uint64
+	burst   uint64
+	slice   int
+	base    uint64 // calibrated uncontended probe latency
+	i       int    // slot index
+	j       int    // working-set cursor
+	w       int    // warm-up pass cursor
+	start   uint64 // current slot start cycle
+	now     uint64 // last observed clock
+	samples uint64 // probes this slot
+	slow    uint64 // probes slower than base this slot
+	pc      int
+}
+
+// RingSpy states.
+const (
+	rsWarm     = iota // touch the working set twice, calibrate base
+	rsWarmDone        // record a warm-pass probe's latency
+	rsSlot            // decode slot bounds, wait for the slot
+	rsGate            // reset the slot's accumulators
+	rsLoop            // burst-bound check / close out the bit
+	rsLoadDone        // classify one probe's latency
+)
+
+// NewRingSpy builds the receiver.
+func NewRingSpy(cfg RingConfig) *RingSpy {
+	cfg.Protocol.validate()
+	if cfg.LinesPerSide <= 0 || cfg.MaxBurstCycles == 0 || cfg.SlowFracDen <= 0 {
+		panic("channels: ring spy needs LinesPerSide, MaxBurstCycles, and SlowFracDen")
+	}
+	return &RingSpy{cfg: cfg}
+}
+
+// Name implements sim.Program.
+func (s *RingSpy) Name() string { return "ring-spy" }
+
+// Run implements sim.Program via the goroutine reference driver.
+func (s *RingSpy) Run(m *sim.Machine) { sim.RunSteps(s, m) }
+
+// Begin implements sim.Stepper.
+func (s *RingSpy) Begin(m *sim.Machine) {
+	geo := m.Geometry()
+	if geo.RingStops <= 0 {
+		panic("channels: ring channel needs the ring interconnect enabled")
+	}
+	s.m = m
+	s.slot = s.cfg.slotCycles(geo)
+	s.burst = minU64(s.slot, s.cfg.MaxBurstCycles)
+	s.slice = ringTargetSlice(geo.RingStops)
+	s.pc = rsWarm
+}
+
+func (s *RingSpy) addr() uint64 {
+	geo := s.m.Geometry()
+	a := s.m.PrivateAddr(ringLineIndex(s.j, geo.L1Sets, s.slice))
+	s.j++
+	if s.j == s.cfg.LinesPerSide {
+		s.j = 0
+	}
+	return a
+}
+
+// Step implements sim.Stepper.
+func (s *RingSpy) Step(prev sim.OpResult) (sim.Op, bool) {
+	for {
+		switch s.pc {
+		case rsWarm:
+			// Two passes over the working set before the first slot: the
+			// first fills the L2, the second calibrates the uncontended
+			// baseline. The minimum second-pass latency wins — contention
+			// only ever adds wait cycles, so the floor is the uncontended
+			// L2-resident transit even if the trojan is already active.
+			if s.w < 2*s.cfg.LinesPerSide {
+				s.w++
+				s.pc = rsWarmDone
+				return sim.Op{Kind: sim.OpLoad, Addr: s.addr()}, true
+			}
+			s.pc = rsSlot
+
+		case rsWarmDone:
+			if s.w > s.cfg.LinesPerSide { // second pass: L2-resident
+				if s.base == 0 || prev.Latency < s.base {
+					s.base = prev.Latency
+				}
+			}
+			s.pc = rsWarm
+
+		case rsSlot:
+			if _, done := s.cfg.bitAt(s.i); done {
+				return sim.Op{}, false
+			}
+			s.start = s.cfg.Start + uint64(s.i)*s.slot + s.cfg.slotJitter(s.i, s.slot)
+			s.pc = rsGate
+			return sim.Op{Kind: sim.OpWaitUntil, Cycles: s.start}, true
+
+		case rsGate:
+			s.now = prev.Now
+			s.samples, s.slow = 0, 0
+			s.pc = rsLoop
+
+		case rsLoop:
+			if s.now < s.start+s.burst {
+				s.pc = rsLoadDone
+				return sim.Op{Kind: sim.OpLoad, Addr: s.addr()}, true
+			}
+			s.perBitSlowFrac = append(s.perBitSlowFrac, float64(s.slow)/float64(s.samples))
+			// Both ends know the evader's duty cycle, so the spy scales
+			// its decision threshold with it: a thinned '1' still clears
+			// the (equally thinned) bar.
+			thresh := s.samples
+			if d := s.cfg.Evader.DutyFrac; d > 0 && d < 1 {
+				thresh = uint64(float64(s.samples) * d)
+			}
+			if s.slow*uint64(s.cfg.SlowFracDen) > thresh {
+				s.decoded = append(s.decoded, 1)
+			} else {
+				s.decoded = append(s.decoded, 0)
+			}
+			s.i++
+			s.pc = rsSlot
+
+		case rsLoadDone:
+			s.now = prev.Now
+			s.samples++
+			if prev.Latency > s.base {
+				s.slow++
+			}
+			s.pc = rsLoop
+		}
+	}
+}
+
+// Decoded returns the bits the spy inferred so far.
+func (s *RingSpy) Decoded() []int { return s.decoded }
+
+// PerBitSlowFrac returns the fraction of probes per bit slot that ran
+// slower than the calibrated baseline.
+func (s *RingSpy) PerBitSlowFrac() []float64 { return s.perBitSlowFrac }

@@ -19,11 +19,26 @@ import "cchunter/internal/trace"
 
 // Paper-calibrated observation windows (§IV-B step 1): for the memory
 // bus channel Δt is 100,000 cycles (40 µs at 2.5 GHz); for the integer
-// divider channel, 500 cycles (200 ns).
+// divider channel, 500 cycles (200 ns). The ring and TLB windows are
+// ours, derived with DeltaTHeuristic from each channel's maximum
+// bandwidth and conflicts-per-bit (see DESIGN.md §16).
 const (
 	DeltaTBus     uint64 = 100_000
 	DeltaTDivider uint64 = 500
+	DeltaTRing    uint64 = 1_250
+	DeltaTTLB     uint64 = 10_000
 )
+
+// BurstKinds lists, in canonical order, every indicator event analyzed
+// by the recurrent-burst detector. Batch and streaming detectors both
+// iterate this list (filtered to the kinds the auditor monitored), so
+// report ordering is identical across paths.
+var BurstKinds = []trace.Kind{
+	trace.KindBusLock,
+	trace.KindDivContention,
+	trace.KindRingContention,
+	trace.KindTLBConflict,
+}
 
 // DefaultDeltaT returns the paper's Δt for the given indicator event.
 // Conflict misses are analyzed by the oscillation detector and have no
@@ -34,6 +49,10 @@ func DefaultDeltaT(kind trace.Kind) uint64 {
 		return DeltaTBus
 	case trace.KindDivContention:
 		return DeltaTDivider
+	case trace.KindRingContention:
+		return DeltaTRing
+	case trace.KindTLBConflict:
+		return DeltaTTLB
 	default:
 		panic("core: no default Δt for " + kind.String())
 	}

@@ -259,7 +259,7 @@ func (d *Detector) Analyze(endCycle uint64) Report {
 	span := reg.Timer("detect.analyze_ns").Start()
 	d.aud.Flush(endCycle)
 	rep := Report{Confidence: 1}
-	for _, kind := range []trace.Kind{trace.KindBusLock, trace.KindDivContention} {
+	for _, kind := range BurstKinds {
 		recs := d.aud.Histograms(kind)
 		if d.aud.DeltaT(kind) == 0 {
 			continue // not monitored

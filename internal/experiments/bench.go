@@ -195,6 +195,12 @@ func BenchMetrics(result interface{}) map[string]float64 {
 			m[key+"_lr"] = row.LikelihoodRatio
 			m[key+"_errrate"] = row.ErrorRate
 		}
+		for _, row := range r.Frontier {
+			key := fmt.Sprintf("frontier_%s_j%g_d%g", row.Channel, row.Jitter, row.Duty)
+			m[key+"_stat"] = row.Statistic
+			m[key+"_detected"] = b2f(row.Detected)
+			m[key+"_errrate"] = row.ErrorRate
+		}
 	case RobustnessResult:
 		m["baseline_identical"] = b2f(r.BaselineIdentical)
 		for _, row := range r.Rows {

@@ -78,4 +78,49 @@ func TestExtEvasion(t *testing.T) {
 	if !strings.Contains(r.Summary(), "camouflage") {
 		t.Error("summary broken")
 	}
+
+	// The adaptive-evader frontier: every channel × every setting,
+	// baseline first per channel.
+	if want := len(frontierChannels) * len(frontierSettings); len(r.Frontier) != want {
+		t.Fatalf("frontier rows = %d, want %d", len(r.Frontier), want)
+	}
+	degraded := map[string]bool{}
+	for _, row := range r.Frontier {
+		ch := string(row.Channel)
+		if row.Jitter == 0 && row.Duty == 0 {
+			// Full-amplitude periodic baseline: detected, error-free.
+			if !row.Detected {
+				t.Errorf("%s frontier baseline not detected", ch)
+			}
+			if row.ErrorRate != 0 {
+				t.Errorf("%s frontier baseline has %.1f%% errors", ch, row.ErrorRate*100)
+			}
+			continue
+		}
+		if !row.Detected {
+			degraded[ch] = true
+		}
+	}
+	// The acceptance bar: at least one adaptive-evader setting per
+	// channel where detection degrades.
+	for _, ch := range frontierChannels {
+		if !degraded[string(ch)] {
+			t.Errorf("%s never crossed the detection frontier", ch)
+		}
+	}
+	// And the frontier is a real trade, not a dead channel: some
+	// setting evades detection while the spy still decodes (≤5% BER).
+	crossed := false
+	for _, row := range r.Frontier {
+		if !row.Detected && row.ErrorRate <= 0.05 {
+			crossed = true
+			break
+		}
+	}
+	if !crossed {
+		t.Error("no frontier point evades detection while preserving reliability")
+	}
+	if !strings.Contains(r.Summary(), "frontier") {
+		t.Error("frontier summary broken")
+	}
 }

@@ -279,6 +279,37 @@ func SeriesForCSV(id string, result interface{}) []csvSeries {
 			}
 		}
 		return out
+	case EvasionResult:
+		noiseLR := make([]float64, len(r.Rows))
+		noiseErr := make([]float64, len(r.Rows))
+		for i, row := range r.Rows {
+			noiseLR[i] = row.LikelihoodRatio
+			noiseErr[i] = row.ErrorRate
+		}
+		out := []csvSeries{
+			{Name: "evade_noise_lr", X: "noise_index", Y: "lr", Data: noiseLR},
+			{Name: "evade_noise_errrate", X: "noise_index", Y: "errrate", Data: noiseErr},
+		}
+		byChannel := map[string]*struct{ stat, errrate []float64 }{}
+		order := []string{}
+		for _, row := range r.Frontier {
+			name := string(row.Channel)
+			c, ok := byChannel[name]
+			if !ok {
+				c = &struct{ stat, errrate []float64 }{}
+				byChannel[name] = c
+				order = append(order, name)
+			}
+			c.stat = append(c.stat, row.Statistic)
+			c.errrate = append(c.errrate, row.ErrorRate)
+		}
+		for _, name := range order {
+			out = append(out,
+				csvSeries{Name: "evade_frontier_" + name + "_stat", X: "setting_index", Y: "stat", Data: byChannel[name].stat},
+				csvSeries{Name: "evade_frontier_" + name + "_errrate", X: "setting_index", Y: "errrate", Data: byChannel[name].errrate},
+			)
+		}
+		return out
 	case RobustnessResult:
 		byChannel := map[string]*struct{ strength, confidence []float64 }{}
 		order := []string{}

@@ -86,17 +86,22 @@ func newShard(key Key, cfg shardConfig) (*shard, error) {
 
 // buildDetector wires a fresh auditor + streaming detector, exactly as
 // a solo run does — which is what keeps fleet verdicts byte-identical
-// to single-host ones for identical trains.
-func buildDetector(quantum uint64, contexts int) (*stream.Detector, error) {
+// to single-host ones for identical trains. kinds selects the burst
+// events to monitor with their paper Δt (the auditor watches at most
+// auditor.MaxMonitoredUnits of them); empty means the classic bus +
+// divider pair every pre-ring caller programmed.
+func buildDetector(quantum uint64, contexts int, kinds ...trace.Kind) (*stream.Detector, error) {
 	aud, err := auditor.New(auditor.DefaultConfig(quantum))
 	if err != nil {
 		return nil, err
 	}
-	if err := aud.Monitor(trace.KindBusLock, core.DeltaTBus); err != nil {
-		return nil, err
+	if len(kinds) == 0 {
+		kinds = []trace.Kind{trace.KindBusLock, trace.KindDivContention}
 	}
-	if err := aud.Monitor(trace.KindDivContention, core.DeltaTDivider); err != nil {
-		return nil, err
+	for _, k := range kinds {
+		if err := aud.Monitor(k, core.DefaultDeltaT(k)); err != nil {
+			return nil, err
+		}
 	}
 	if err := aud.MonitorConflicts(); err != nil {
 		return nil, err

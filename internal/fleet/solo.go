@@ -14,11 +14,12 @@ import (
 // events, and (verdict fields) to the batch detector pinned by the
 // golden corpus. The root-package equivalence test holds the fleet
 // path to that.
-func AnalyzeTrain(events []trace.Event, quantum uint64, contexts int, end uint64) (core.Report, error) {
+// kinds selects the monitored burst events (empty = bus + divider).
+func AnalyzeTrain(events []trace.Event, quantum uint64, contexts int, end uint64, kinds ...trace.Kind) (core.Report, error) {
 	if contexts <= 0 {
 		contexts = defaultContexts
 	}
-	det, err := buildDetector(quantum, contexts)
+	det, err := buildDetector(quantum, contexts, kinds...)
 	if err != nil {
 		return core.Report{}, err
 	}

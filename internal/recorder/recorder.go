@@ -37,6 +37,11 @@ type Meta struct {
 	// working from the same degraded evidence base the live verdict
 	// was, and reports the count instead of silently diverging.
 	EventsShed uint64 `json:"eventsShed,omitempty"`
+	// Kinds lists the burst-event kinds the live run's auditor
+	// monitored, in programming order. Empty (captures from before the
+	// ring/TLB channels existed) means the classic bus + divider pair,
+	// so old flights replay byte-identically.
+	Kinds []trace.Kind `json:"kinds,omitempty"`
 }
 
 // Flight is one serialized capture.

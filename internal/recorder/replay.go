@@ -9,19 +9,23 @@ import (
 	"cchunter/internal/trace"
 )
 
-// rebuild wires a fresh auditor exactly as a scenario run does: bus
-// and divider monitors at the paper Δt values plus the conflict-miss
+// rebuild wires a fresh auditor exactly as a scenario run does: the
+// flight's monitored burst kinds (bus and divider when the capture
+// predates Meta.Kinds) at the paper Δt values plus the conflict-miss
 // tracker front-end.
 func rebuild(f Flight) (*auditor.Auditor, core.DetectorConfig, uint64, error) {
 	aud, err := auditor.New(auditor.DefaultConfig(f.Meta.QuantumCycles))
 	if err != nil {
 		return nil, core.DetectorConfig{}, 0, fmt.Errorf("recorder: building auditor: %w", err)
 	}
-	if err := aud.Monitor(trace.KindBusLock, core.DeltaTBus); err != nil {
-		return nil, core.DetectorConfig{}, 0, err
+	kinds := f.Meta.Kinds
+	if len(kinds) == 0 {
+		kinds = []trace.Kind{trace.KindBusLock, trace.KindDivContention}
 	}
-	if err := aud.Monitor(trace.KindDivContention, core.DeltaTDivider); err != nil {
-		return nil, core.DetectorConfig{}, 0, err
+	for _, k := range kinds {
+		if err := aud.Monitor(k, core.DefaultDeltaT(k)); err != nil {
+			return nil, core.DetectorConfig{}, 0, err
+		}
 	}
 	if err := aud.MonitorConflicts(); err != nil {
 		return nil, core.DetectorConfig{}, 0, err

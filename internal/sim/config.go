@@ -19,6 +19,8 @@ import (
 	"cchunter/internal/faults"
 	"cchunter/internal/mitigate"
 	"cchunter/internal/obs"
+	"cchunter/internal/ring"
+	"cchunter/internal/tlb"
 )
 
 // TrackerKind selects the conflict-miss tracker attached to each
@@ -86,6 +88,16 @@ type Config struct {
 	Bus bus.Config
 	// Div configures each core's divider bank.
 	Div divider.Config
+	// Ring configures the slotted ring interconnect between the cores
+	// and the sliced last-level cache. The zero value (Stops == 0)
+	// leaves the interconnect unmodelled, keeping every pre-ring
+	// simulation bit-for-bit identical; ring-channel scenarios enable
+	// it explicitly.
+	Ring ring.Config
+	// TLB configures each core's hyperthread-shared sTLB. The zero
+	// value selects tlb.DefaultConfig(). The TLB is only exercised by
+	// OpTLBProbe operations, so non-TLB scenarios are unaffected.
+	TLB tlb.Config
 	// Tracker selects the conflict-miss tracker implementation.
 	Tracker TrackerKind
 	// MigrationProb is the per-quantum probability that a context's
@@ -188,13 +200,15 @@ func (c Config) CyclesPerBit(bps float64) uint64 {
 
 // Geometry is the static machine description visible to programs.
 type Geometry struct {
-	Contexts       int
-	Cores          int
-	ThreadsPerCore int
-	ClockHz        uint64
-	QuantumCycles  uint64
-	LineBytes      int
-	L1Sets, L1Ways int
-	L2Sets, L2Ways int
-	MemCycles      uint64
+	Contexts         int
+	Cores            int
+	ThreadsPerCore   int
+	ClockHz          uint64
+	QuantumCycles    uint64
+	LineBytes        int
+	L1Sets, L1Ways   int
+	L2Sets, L2Ways   int
+	MemCycles        uint64
+	RingStops        int // 0 when the ring interconnect is disabled
+	TLBSets, TLBWays int
 }

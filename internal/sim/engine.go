@@ -247,6 +247,8 @@ func (s *System) execute(c *hwContext, p *Process, op Op) OpResult {
 			cursor, _ = c.core.div.DivideStamped(cursor, t0, c.id)
 		}
 		latency = cursor - t0
+	case OpTLBProbe:
+		latency, _ = c.core.tlb.Probe(t0, t0, c.id, op.Addr)
 	default:
 		panic("sim: unknown op")
 	}
@@ -261,7 +263,7 @@ func (s *System) execute(c *hwContext, p *Process, op Op) OpResult {
 		// latencies and clock reads — is degraded; the architectural
 		// clock is not.
 		switch op.Kind {
-		case OpLoad, OpStore, OpLoadN, OpAtomicUnaligned, OpDiv, OpDivN:
+		case OpLoad, OpStore, OpLoadN, OpAtomicUnaligned, OpDiv, OpDivN, OpTLBProbe:
 			observedLat = f.Observe(latency)
 		}
 		observedNow = f.ObserveClock(c.clock)
@@ -292,6 +294,12 @@ func (s *System) memAccess(c *hwContext, addr uint64, now, stamp uint64) uint64 
 	lat := co.l1.HitLatency()
 	if l1.Hit {
 		return lat
+	}
+	if s.ring != nil {
+		// The miss transits the ring to the slice owning the line
+		// before the shared L2 services it.
+		done, _ := s.ring.Transit(now+lat, stamp, c.id, co.id, addr>>s.lineShift)
+		lat = done - now
 	}
 	var l2 cache.Result
 	if part := s.cfg.Mitigations.Partition; part != nil {

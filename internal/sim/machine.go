@@ -121,6 +121,15 @@ func (m *Machine) DivN(n int) uint64 {
 	return m.Do(Op{Kind: OpDivN, Count: n}).Latency
 }
 
+// TLBProbe looks up addr's translation in the core's shared TLB,
+// filling on a miss, without touching the cache hierarchy, and returns
+// the latency — the accessed-bit probe primitive of the TLB covert
+// channel (a hit means the translation survived; a page-walk latency
+// means the other hyperthread evicted it).
+func (m *Machine) TLBProbe(addr uint64) uint64 {
+	return m.Do(Op{Kind: OpTLBProbe, Addr: addr}).Latency
+}
+
 // Now returns the context's current cycle.
 func (m *Machine) Now() uint64 {
 	return m.Do(Op{Kind: OpNow}).Now

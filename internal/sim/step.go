@@ -23,6 +23,9 @@ const (
 	OpNow
 	// OpWaitUntil sleeps until absolute cycle Cycles.
 	OpWaitUntil
+	// OpTLBProbe looks up Addr's translation in the core's shared TLB
+	// (filling on a miss) without touching the cache hierarchy.
+	OpTLBProbe
 )
 
 // Op is one decoded machine operation. It is the unit of work the

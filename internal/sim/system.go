@@ -10,7 +10,9 @@ import (
 	"cchunter/internal/divider"
 	"cchunter/internal/faults"
 	"cchunter/internal/obs"
+	"cchunter/internal/ring"
 	"cchunter/internal/stats"
+	"cchunter/internal/tlb"
 	"cchunter/internal/trace"
 )
 
@@ -64,6 +66,7 @@ type core struct {
 	id  int
 	l1  *cache.Cache
 	div *divider.Bank
+	tlb *tlb.TLB
 }
 
 // hwContext is one SMT hardware context.
@@ -84,6 +87,8 @@ type System struct {
 	l2        *cache.Cache
 	tracker   conflict.Tracker
 	bus       *bus.Bus
+	ring      *ring.Ring // nil unless cfg.Ring.Stops > 0
+	lineShift uint       // log2(L2 line bytes), for ring slice hashing
 	listeners trace.Tee
 	// emit is the listener the hardware units report to: a batcher in
 	// front of the fault injector (when one is configured) or of
@@ -157,6 +162,16 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("%w: L2: %v", ErrBadConfig, err)
 	}
 	s.l2 = l2
+	for b := cfg.L2.LineBytes; b > 1; b >>= 1 {
+		s.lineShift++
+	}
+	if cfg.Ring.Stops > 0 {
+		s.ring = ring.New(cfg.Ring, s.emit)
+	}
+	tlbCfg := cfg.TLB
+	if tlbCfg.Sets == 0 {
+		tlbCfg = tlb.DefaultConfig()
+	}
 	switch cfg.Tracker {
 	case TrackerIdeal:
 		s.tracker = conflict.MustNewIdeal(s.l2.NumBlocks())
@@ -176,6 +191,7 @@ func New(cfg Config) (*System, error) {
 			id:  c,
 			l1:  l1,
 			div: divider.New(cfg.Div, s.emit),
+			tlb: tlb.New(tlbCfg, s.emit),
 		}
 		s.cores = append(s.cores, co)
 		for t := 0; t < cfg.ThreadsPerCore; t++ {
@@ -306,6 +322,9 @@ func (s *System) Geometry() Geometry {
 		L2Sets:         s.l2.NumSets(),
 		L2Ways:         s.l2.Ways(),
 		MemCycles:      s.cfg.MemCycles,
+		RingStops:      s.cfg.Ring.Stops,
+		TLBSets:        s.cores[0].tlb.Config().Sets,
+		TLBWays:        s.cores[0].tlb.Config().Ways,
 	}
 }
 
@@ -346,6 +365,20 @@ func (s *System) BusStats() bus.Stats { return s.bus.Stats() }
 // CoreDividerStats exposes a core's divider counters.
 func (s *System) CoreDividerStats(core int) divider.Stats {
 	return s.cores[core].div.Stats()
+}
+
+// RingStats exposes the ring interconnect counters; ok is false when
+// the ring is disabled.
+func (s *System) RingStats() (st ring.Stats, ok bool) {
+	if s.ring == nil {
+		return ring.Stats{}, false
+	}
+	return s.ring.Stats(), true
+}
+
+// CoreTLBStats exposes a core's shared-TLB counters.
+func (s *System) CoreTLBStats(core int) tlb.Stats {
+	return s.cores[core].tlb.Stats()
 }
 
 // L2Stats exposes the shared L2's counters.

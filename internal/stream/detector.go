@@ -129,7 +129,7 @@ func New(aud *auditor.Auditor, cfg Config) *Detector {
 		d.ws = stats.NewWorkspace()
 		d.dcfg.Oscillation.Workspace = d.ws
 	}
-	for _, kind := range []trace.Kind{trace.KindBusLock, trace.KindDivContention} {
+	for _, kind := range core.BurstKinds {
 		if aud.DeltaT(kind) == 0 {
 			continue
 		}

@@ -26,6 +26,14 @@ const (
 	// same capacity), and another context's block is replaced to make
 	// room.
 	KindConflictMiss
+	// KindRingContention fires when a memory access from one core waits
+	// on a slotted-ring interconnect segment occupied by traffic from
+	// another core (the lord-of-the-ring style cross-core channel).
+	KindRingContention
+	// KindTLBConflict fires when a TLB fill from one hardware context
+	// evicts a translation inserted by the other hyperthread sharing
+	// the core's sTLB.
+	KindTLBConflict
 	numKinds
 )
 
@@ -38,6 +46,10 @@ func (k Kind) String() string {
 		return "div-contention"
 	case KindConflictMiss:
 		return "conflict-miss"
+	case KindRingContention:
+		return "ring-contention"
+	case KindTLBConflict:
+		return "tlb-conflict"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -19,13 +19,15 @@ func mkTrain(cycles ...uint64) *Train {
 func TestKindString(t *testing.T) {
 	if KindBusLock.String() != "bus-lock" ||
 		KindDivContention.String() != "div-contention" ||
-		KindConflictMiss.String() != "conflict-miss" {
+		KindConflictMiss.String() != "conflict-miss" ||
+		KindRingContention.String() != "ring-contention" ||
+		KindTLBConflict.String() != "tlb-conflict" {
 		t.Error("kind names wrong")
 	}
 	if !strings.Contains(Kind(99).String(), "99") {
 		t.Error("unknown kind should include numeric value")
 	}
-	if NumKinds() != 3 {
+	if NumKinds() != 5 {
 		t.Errorf("NumKinds = %d", NumKinds())
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"cchunter/internal/faults"
 	"cchunter/internal/mitigate"
 	"cchunter/internal/recorder"
+	"cchunter/internal/ring"
 	"cchunter/internal/runner"
 	"cchunter/internal/shard"
 	"cchunter/internal/sim"
@@ -76,6 +77,23 @@ type Scenario struct {
 	// random-intensity bursts (the §III evasion strategy); see the
 	// evasion experiment.
 	EvasionNoise float64
+	// EvaderJitter arms the adaptive evader's period jitter: each bit
+	// slot starts at a keyed pseudo-random offset of up to this fraction
+	// of the slot (0..0.5). Both endpoints derive the same offsets from
+	// the protocol seed, so the channel stays synchronized while the
+	// inter-burst period stops being constant.
+	EvaderJitter float64
+	// EvaderDuty arms the adaptive evader's amplitude duty cycle: the
+	// trojan thins its contention generation to this fraction of full
+	// intensity (0 = off, otherwise (0,1]). Lower duty collapses the
+	// per-Δt event densities the burst detector keys on — at the cost
+	// of channel reliability. See the evasion-frontier experiment.
+	EvaderDuty float64
+	// FECFrame wraps the message in the channels' two-layer FEC framing
+	// (Berger-checked 8+4 words plus one XOR parity word per group of
+	// four): the trojan transmits the coded stream and the spy's decode
+	// is corrected back to data bits before BitErrors is computed.
+	FECFrame bool
 	// Mitigation applies a post-detection defense for the whole run:
 	// "" (none), "buslimit" (split-lock rate limiting), "partition"
 	// (L2 way-partitioning per context), "tdm" (time-multiplexed
@@ -255,6 +273,12 @@ func (sc Scenario) Run() (*Result, error) {
 	simCfg.Faults = faults.Config(sc.Faults)
 	simCfg.EventBatch = sc.eventBatch
 	simCfg.Metrics = sc.Metrics
+	if sc.Channel == ChannelRingInterconnect {
+		// The ring interconnect only exists for the channel that needs
+		// it: every other scenario stays bit-for-bit identical to a
+		// ring-less machine.
+		simCfg.Ring = ring.DefaultConfig()
+	}
 	system, err := sim.New(simCfg)
 	if err != nil {
 		return nil, fmt.Errorf("cchunter: building machine: %w", err)
@@ -265,11 +289,13 @@ func (sc Scenario) Run() (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cchunter: building auditor: %w", err)
 	}
-	if err := aud.Monitor(trace.KindBusLock, core.DeltaTBus); err != nil {
-		return nil, fmt.Errorf("cchunter: monitoring bus: %w", err)
-	}
-	if err := aud.Monitor(trace.KindDivContention, core.DeltaTDivider); err != nil {
-		return nil, fmt.Errorf("cchunter: monitoring divider: %w", err)
+	// The auditor has two monitoring slots (§V-A); program them with
+	// the pair that covers this scenario's channel.
+	kinds := sc.monitorKinds()
+	for _, k := range kinds {
+		if err := aud.Monitor(k, core.DefaultDeltaT(k)); err != nil {
+			return nil, fmt.Errorf("cchunter: monitoring %v: %w", k, err)
+		}
 	}
 	if err := aud.MonitorConflicts(); err != nil {
 		return nil, fmt.Errorf("cchunter: monitoring conflicts: %w", err)
@@ -332,9 +358,9 @@ func (sc Scenario) Run() (*Result, error) {
 	spyDone := sc.spawnChannel(system, cfg, res)
 	var firstFreeCore int
 	switch sc.Channel {
-	case ChannelMemoryBus, ChannelSharedCache:
+	case ChannelMemoryBus, ChannelSharedCache, ChannelRingInterconnect:
 		firstFreeCore = 2 // trojan on core 0, spy on core 1
-	case ChannelIntegerDivider:
+	case ChannelIntegerDivider, ChannelTLB:
 		firstFreeCore = 1 // trojan+spy are hyperthreads of core 0
 	default:
 		firstFreeCore = 0
@@ -419,17 +445,32 @@ func (sc Scenario) Run() (*Result, error) {
 		case res.Report.Detected:
 			reason = "detection"
 		}
+		var metaKinds []trace.Kind
+		switch sc.Channel {
+		case ChannelRingInterconnect, ChannelTLB:
+			// Non-default monitoring pair: the replayer must program the
+			// same slots. The classic pair stays implicit so pre-existing
+			// flights (and their byte-identical captures) keep replaying.
+			metaKinds = kinds
+		}
 		f := flight.Capture(reason, recorder.Meta{
 			Seed:               cfg.Seed,
 			QuantumCycles:      cfg.QuantumCycles,
 			Contexts:           simCfg.Contexts(),
 			ObservationDivisor: cfg.ObservationDivisor,
 			EndCycle:           end,
+			Kinds:              metaKinds,
 		})
 		res.Flight = &f
 	}
 
 	spyDone(res)
+	if sc.FECFrame && sc.Channel != ChannelNone && sc.Channel != "" {
+		// The spy decoded the coded stream; run the FEC decoder over each
+		// complete coded block so BitErrors counts data-bit errors.
+		res.Sent = append([]int(nil), cfg.DataBits...)
+		res.Decoded = decodeFECStream(res.Decoded, len(cfg.Message), len(cfg.DataBits))
+	}
 	res.BitErrors = repeatedBitErrors(res.Sent, res.Decoded)
 	if sc.Channel == ChannelNone {
 		res.Sent, res.Decoded, res.BitErrors = nil, nil, 0
@@ -454,6 +495,7 @@ func (sc Scenario) Run() (*Result, error) {
 // normalized carries a Scenario with every default resolved.
 type normalized struct {
 	Message            []int
+	DataBits           []int // pre-FEC message when FECFrame is set
 	Workloads          []string
 	Background         int
 	ChannelStartQuanta int
@@ -485,9 +527,16 @@ func (sc Scenario) normalize() (normalized, error) {
 		CacheSets:          sc.CacheSets,
 	}
 	switch sc.Channel {
-	case "", ChannelNone, ChannelMemoryBus, ChannelIntegerDivider, ChannelSharedCache:
+	case "", ChannelNone, ChannelMemoryBus, ChannelIntegerDivider, ChannelSharedCache,
+		ChannelRingInterconnect, ChannelTLB:
 	default:
 		return cfg, fmt.Errorf("cchunter: unknown channel %q", sc.Channel)
+	}
+	if sc.EvaderJitter < 0 || sc.EvaderJitter > 0.5 {
+		return cfg, fmt.Errorf("cchunter: EvaderJitter %v outside [0, 0.5]", sc.EvaderJitter)
+	}
+	if sc.EvaderDuty < 0 || sc.EvaderDuty > 1 {
+		return cfg, fmt.Errorf("cchunter: EvaderDuty %v outside [0, 1]", sc.EvaderDuty)
 	}
 	if cfg.BandwidthBPS == 0 {
 		cfg.BandwidthBPS = 1000
@@ -500,6 +549,12 @@ func (sc Scenario) normalize() (normalized, error) {
 	}
 	if cfg.Message == nil {
 		cfg.Message = RandomMessage(64, cfg.Seed)
+	}
+	if sc.FECFrame {
+		// The channel carries the coded stream; the data bits come back
+		// out of the spy's decode after FEC correction.
+		cfg.DataBits = cfg.Message
+		cfg.Message = channels.FECEncode(cfg.Message)
 	}
 	if cfg.CacheSets == 0 {
 		cfg.CacheSets = 512
@@ -530,6 +585,36 @@ func (sc Scenario) normalize() (normalized, error) {
 	return cfg, nil
 }
 
+// monitorKinds returns the burst-event pair this scenario programs into
+// the CC-Auditor's two monitoring slots. The classic channels keep the
+// paper's bus + divider pair (so their recorded runs stay byte-
+// identical); the ring and TLB channels trade one slot for their own
+// indicator event.
+func (sc Scenario) monitorKinds() []trace.Kind {
+	switch sc.Channel {
+	case ChannelRingInterconnect:
+		return []trace.Kind{trace.KindBusLock, trace.KindRingContention}
+	case ChannelTLB:
+		return []trace.Kind{trace.KindDivContention, trace.KindTLBConflict}
+	}
+	return []trace.Kind{trace.KindBusLock, trace.KindDivContention}
+}
+
+// decodeFECStream splits the spy's decoded bit stream into complete
+// coded blocks of blockLen bits and FEC-decodes each back to dataLen
+// data bits; a trailing partial block is dropped.
+func decodeFECStream(coded []int, blockLen, dataLen int) []int {
+	if blockLen <= 0 {
+		return nil
+	}
+	var data []int
+	for off := 0; off+blockLen <= len(coded); off += blockLen {
+		d, _, _ := channels.FECDecode(coded[off:off+blockLen], dataLen)
+		data = append(data, d...)
+	}
+	return data
+}
+
 // repeatedBitErrors compares the decoded stream against the message
 // repeated as often as the trojan sent it.
 func repeatedBitErrors(sent, decoded []int) int {
@@ -558,6 +643,10 @@ func (sc Scenario) spawnChannel(system *sim.System, cfg normalized, res *Result)
 		Start:   uint64(cfg.ChannelStartQuanta) * cfg.QuantumCycles,
 		Seed:    cfg.Seed,
 		Repeat:  true,
+		Evader: channels.Evader{
+			JitterFrac: sc.EvaderJitter,
+			DutyFrac:   sc.EvaderDuty,
+		},
 	}
 	switch sc.Channel {
 	case ChannelMemoryBus:
@@ -611,6 +700,31 @@ func (sc Scenario) spawnChannel(system *sim.System, cfg normalized, res *Result)
 		return func(r *Result) {
 			r.Decoded = spy.Decoded()
 			r.PerBitSeries = spy.PerBitRatio()
+		}
+	case ChannelRingInterconnect:
+		c := channels.DefaultRingConfig(cfg.Message, cfg.BandwidthBPS)
+		c.Protocol = proto
+		spy := channels.NewRingSpy(c)
+		// Different cores sharing only the ring path into one LLC slice:
+		// trojan on core 0, spy on core 1, both routing clockwise into
+		// the slice across the ring.
+		system.Spawn(channels.NewRingTrojan(c), sim.Pin(0))
+		system.Spawn(spy, sim.Pin(2))
+		return func(r *Result) {
+			r.Decoded = spy.Decoded()
+			r.PerBitSeries = spy.PerBitSlowFrac()
+		}
+	case ChannelTLB:
+		c := channels.DefaultTLBConfig(cfg.Message, cfg.BandwidthBPS)
+		c.Protocol = proto
+		spy := channels.NewTLBSpy(c)
+		// The sTLB is per-core: trojan and spy are the two hyperthreads
+		// of core 0, like the divider channel.
+		system.Spawn(channels.NewTLBTrojan(c), sim.Pin(0))
+		system.Spawn(spy, sim.Pin(1))
+		return func(r *Result) {
+			r.Decoded = spy.Decoded()
+			r.PerBitSeries = spy.PerSymbolMissFrac()
 		}
 	default:
 		return func(*Result) {}

@@ -48,6 +48,10 @@ func TestRunShardedMatchesSerial(t *testing.T) {
 			Message: RandomMessage(12, 4), QuantumCycles: testQuantum},
 		{Channel: ChannelMemoryBus, BandwidthBPS: 2000,
 			Message: RandomMessage(12, 5), QuantumCycles: testQuantum, Seed: 7},
+		{Channel: ChannelRingInterconnect, BandwidthBPS: 1000,
+			Message: RandomMessage(12, 9), QuantumCycles: testQuantum, Seed: 9},
+		{Channel: ChannelTLB, BandwidthBPS: 1000,
+			Message: RandomMessage(12, 13), QuantumCycles: testQuantum, Seed: 13},
 		{Channel: ChannelNone, Workloads: []string{"gobmk"},
 			DurationQuanta: 2, QuantumCycles: testQuantum},
 	}
@@ -89,7 +93,8 @@ func FuzzShardedEquivalence(f *testing.F) {
 	f.Add(uint64(0xdead), uint8(4), uint8(2))
 	f.Fuzz(func(t *testing.T, seed uint64, bits uint8, channel uint8) {
 		nbits := int(bits%12) + 4
-		ch := []Channel{ChannelMemoryBus, ChannelIntegerDivider, ChannelSharedCache}[channel%3]
+		ch := []Channel{ChannelMemoryBus, ChannelIntegerDivider, ChannelSharedCache,
+			ChannelRingInterconnect, ChannelTLB}[channel%5]
 		sc := Scenario{
 			Channel:       ch,
 			BandwidthBPS:  1000,
