@@ -59,6 +59,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve live pipeline metrics as JSON on this address (e.g. :8080) for the duration of the run")
 	streamMode := flag.Bool("stream", false, "streaming bounded-memory detection (verdict identical; adds onset estimates)")
 	pipelined := flag.Bool("pipelined", false, "pipeline event delivery to the auditor through an SPSC ring on its own goroutine (verdict byte-identical)")
+	slices := flag.Int("slices", 0, "split the run's observation quanta across this many quantum-sliced audit lanes, merged deterministically before analysis (0/1 = serial; verdict byte-identical)")
 	watchdog := flag.Duration("watchdog", 0, "analysis watchdog timeout; overrun or panic yields a degraded verdict (0 = off)")
 	record := flag.String("record", "", "write a flight-recorder capture (raw events around the verdict) to this file for cctrace replay")
 	verbose := flag.Bool("v", false, "print histograms and per-window detail")
@@ -106,6 +107,7 @@ func main() {
 		Seed:               *seed,
 		Stream:             *streamMode,
 		Pipelined:          *pipelined,
+		Slices:             *slices,
 		Watchdog:           *watchdog,
 		EvaderJitter:       *evadeJitter,
 		EvaderDuty:         *evadeDuty,

@@ -61,6 +61,7 @@ func main() {
 	quanta := flag.Int("quanta", 64, "observation quanta for Figure 14 (paper: 512)")
 	jobs := flag.Int("j", runtime.NumCPU(), "worker count for figures and their sweeps (1 = serial)")
 	shards := flag.Int("shards", 0, "simulator shard lanes for whole-scenario figures: each scenario runs as a shard with pipelined SPSC event delivery (0 = synchronous legacy path; output identical at every value)")
+	slices := flag.Int("slices", 0, "quantum-sliced audit lanes per run: each scenario's observation quanta split across this many slice-local auditors, merged deterministically before analysis (0/1 = serial; output identical at every value)")
 	verbose := flag.Bool("v", false, "print per-figure timing after the run")
 	benchOut := flag.String("bench-out", "", "write a benchmark-trajectory JSON report (ns, allocs, detection metrics per figure) to this file; forces -j 1 for per-figure attribution")
 	metricsOut := flag.String("metrics-out", "", "instrument each figure with a pipeline metrics registry and write the per-figure snapshots as JSON to this file")
@@ -91,7 +92,7 @@ func main() {
 		bench = &rep
 	}
 
-	opts := experiments.Options{Seed: *seed, TimeScale: *scale, Workers: *jobs, Shards: *shards}
+	opts := experiments.Options{Seed: *seed, TimeScale: *scale, Workers: *jobs, Shards: *shards, Slices: *slices}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}

@@ -45,16 +45,14 @@ func goldenMarshal(t *testing.T, res *Result) []byte {
 	return append(buf, '\n')
 }
 
-// TestGoldenVerdicts pins the detector's verdicts for one scenario per
-// covert channel plus a benign workload mix against files under
-// testdata/golden/. Each scenario runs twice — once bare and once with
-// a metrics registry attached — and both runs must serialize to the
-// same bytes: instrumentation is observational only. Regenerate the
-// corpus after an intentional detector change with
-//
-//	go test -run TestGoldenVerdicts -update .
-func TestGoldenVerdicts(t *testing.T) {
-	cases := []struct {
+// goldenCases is the regression corpus: one scenario per covert
+// channel plus a benign workload mix. Shared with the quantum-slicing
+// equivalence tests, which replay the same corpus through sliced lanes.
+func goldenCases() []struct {
+	name string
+	sc   Scenario
+} {
+	return []struct {
 		name string
 		sc   Scenario
 	}{
@@ -101,7 +99,18 @@ func TestGoldenVerdicts(t *testing.T) {
 			QuantumCycles:  testQuantum,
 		}},
 	}
-	for _, tc := range cases {
+}
+
+// TestGoldenVerdicts pins the detector's verdicts for the goldenCases
+// corpus against files under testdata/golden/. Each scenario runs
+// twice — once bare and once with a metrics registry attached — and
+// both runs must serialize to the same bytes: instrumentation is
+// observational only. Regenerate the corpus after an intentional
+// detector change with
+//
+//	go test -run TestGoldenVerdicts -update .
+func TestGoldenVerdicts(t *testing.T) {
+	for _, tc := range goldenCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			bare := tc.sc
 			res, err := bare.Run()

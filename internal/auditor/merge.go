@@ -1,0 +1,101 @@
+package auditor
+
+import (
+	"fmt"
+
+	"cchunter/internal/trace"
+)
+
+// StartAt primes a freshly programmed auditor to begin observing at
+// cycle, as the slice-local auditors of a quantum-sliced run do: each
+// counting slot's open Δt window and quantum index are positioned as a
+// whole-run auditor's would be when its observation frontier reaches
+// cycle. It must be called after the Monitor calls and before any
+// event, and cycle must land on a quantum boundary that is also a Δt
+// boundary for every monitored slot — the alignment that makes
+// per-slice window state indistinguishable from the global machine's
+// (callers degrade to a single slice when a configuration cannot
+// satisfy it).
+func (a *Auditor) StartAt(cycle uint64) error {
+	if cycle%a.cfg.QuantumCycles != 0 {
+		return fmt.Errorf("%w: slice start %d not on a quantum boundary", ErrBadConfig, cycle)
+	}
+	for _, s := range a.slots {
+		if s.deltaT == 0 || cycle%s.deltaT != 0 {
+			return fmt.Errorf("%w: slice start %d not aligned to %v Δt %d", ErrBadConfig, cycle, s.kind, s.deltaT)
+		}
+		if s.windows != 0 || s.accum != 0 || len(s.records) != 0 {
+			return fmt.Errorf("%w: StartAt on an auditor that already observed events", ErrBadConfig)
+		}
+	}
+	for _, s := range a.slots {
+		s.windowStart = cycle
+		s.quantum = cycle / s.quantumLen
+	}
+	return nil
+}
+
+// ReplayConflicts feeds raw conflict-miss events straight into the
+// conflict-capture path (vector registers, hardware dedup comparator,
+// train), bypassing the counting slots and the event tally. The sliced
+// run's merge uses it: the dedup comparator is keyed on the whole
+// event sequence — a run of same-set same-pair misses can straddle any
+// slice boundary — so slices capture conflicts raw and the merged
+// auditor replays their concatenation serially, reproducing the global
+// comparator's decisions exactly.
+func (a *Auditor) ReplayConflicts(events []trace.Event) {
+	if a.osc == nil {
+		return
+	}
+	for i := range events {
+		if events[i].Kind == trace.KindConflictMiss {
+			a.osc.onEvent(events[i])
+		}
+	}
+}
+
+// MergeSlices stitches slice-local auditors — contiguous, disjoint
+// quantum ranges of one run, in range order, each already flushed to
+// its end boundary — into a single auditor whose observable state
+// (per-quantum records, merged histograms, integrity diagnostics) is
+// identical to one auditor having observed the whole run. Per-quantum
+// records concatenate in slice order (quantum-aligned slicing puts
+// every quantum wholly inside one slice); cumulative counters sum.
+// Conflict monitoring is NOT carried over: enable it on the merged
+// auditor and ReplayConflicts the slices' raw captures, in order.
+func MergeSlices(parts []*Auditor) (*Auditor, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%w: MergeSlices needs at least one slice", ErrBadConfig)
+	}
+	first := parts[0]
+	merged, err := New(first.cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range first.slots {
+		if err := merged.Monitor(s.kind, s.deltaT); err != nil {
+			return nil, err
+		}
+	}
+	for i, ms := range merged.slots {
+		for pi, p := range parts {
+			if len(p.slots) != len(merged.slots) {
+				return nil, fmt.Errorf("%w: slice %d monitors %d units, slice 0 monitors %d",
+					ErrBadConfig, pi, len(p.slots), len(merged.slots))
+			}
+			ps := p.slots[i]
+			if ps.kind != ms.kind || ps.deltaT != ms.deltaT {
+				return nil, fmt.Errorf("%w: slice %d slot %d is %v/Δt=%d, want %v/Δt=%d",
+					ErrBadConfig, pi, i, ps.kind, ps.deltaT, ms.kind, ms.deltaT)
+			}
+			ms.records = append(ms.records, ps.records...)
+			ms.windows += ps.windows
+			ms.saturations += ps.saturations
+			ms.drainedClamped += ps.drainedClamped
+		}
+		last := parts[len(parts)-1].slots[i]
+		ms.windowStart = last.windowStart
+		ms.quantum = last.quantum
+	}
+	return merged, nil
+}

@@ -1,0 +1,149 @@
+package auditor
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"cchunter/internal/trace"
+)
+
+const mergeQuantum = uint64(1_000_000)
+const mergeDeltaT = uint64(100_000)
+
+func mergeEvents(quanta int) []trace.Event {
+	var out []trace.Event
+	end := uint64(quanta) * mergeQuantum
+	for c := uint64(5_000); c < end; c += 37_000 {
+		out = append(out, trace.Event{Cycle: c, Kind: trace.KindBusLock,
+			Actor: 1, Victim: trace.NoContext})
+		// Conflict runs crossing arbitrary boundaries; alternate the
+		// pair direction per burst so the dedup comparator stays busy.
+		dir := (c / 37_000) % 2
+		for w := uint64(0); w < 3; w++ {
+			out = append(out, trace.Event{Cycle: c + w, Kind: trace.KindConflictMiss,
+				Actor: uint8(dir), Victim: uint8(1 - dir), Unit: uint32(c % 64)})
+		}
+	}
+	return out
+}
+
+func mergeAuditor(t *testing.T, conflicts bool) *Auditor {
+	t.Helper()
+	a := MustNew(DefaultConfig(mergeQuantum))
+	if err := a.Monitor(trace.KindBusLock, mergeDeltaT); err != nil {
+		t.Fatal(err)
+	}
+	if conflicts {
+		if err := a.MonitorConflicts(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+// TestMergeSlicesMatchesGlobal is the merge layer's own differential
+// test: one auditor observing a whole run versus slice-local auditors
+// observing quantum-aligned segments, stitched with MergeSlices and
+// the raw conflict replay. Records, merged histograms, integrity
+// counters, and the deduplicated conflict train must all coincide.
+func TestMergeSlicesMatchesGlobal(t *testing.T) {
+	const quanta = 8
+	events := mergeEvents(quanta)
+	end := uint64(quanta) * mergeQuantum
+
+	global := mergeAuditor(t, true)
+	global.OnEvents(events)
+	global.Flush(end)
+
+	// Slice at quanta 0-2 / 3-5 / 6-7.
+	cuts := []uint64{3 * mergeQuantum, 6 * mergeQuantum, end}
+	parts := make([]*Auditor, len(cuts))
+	var conflicts [][]trace.Event
+	start := uint64(0)
+	for i, cut := range cuts {
+		p := mergeAuditor(t, false)
+		if err := p.StartAt(start); err != nil {
+			t.Fatal(err)
+		}
+		var raw []trace.Event
+		for _, e := range events {
+			if e.Cycle >= start && e.Cycle < cut {
+				p.OnEvent(e)
+				if e.Kind == trace.KindConflictMiss {
+					raw = append(raw, e)
+				}
+			}
+		}
+		p.Flush(cut)
+		parts[i] = p
+		conflicts = append(conflicts, raw)
+		start = cut
+	}
+
+	merged, err := MergeSlices(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.MonitorConflicts(); err != nil {
+		t.Fatal(err)
+	}
+	for _, raw := range conflicts {
+		merged.ReplayConflicts(raw)
+	}
+	merged.Flush(end)
+
+	if !reflect.DeepEqual(merged.Histograms(trace.KindBusLock), global.Histograms(trace.KindBusLock)) {
+		t.Error("per-quantum records differ from the global auditor's")
+	}
+	if !reflect.DeepEqual(merged.MergedHistogram(trace.KindBusLock), global.MergedHistogram(trace.KindBusLock)) {
+		t.Error("merged histogram differs from the global auditor's")
+	}
+	if !reflect.DeepEqual(merged.Integrity(trace.KindBusLock), global.Integrity(trace.KindBusLock)) {
+		t.Errorf("slot integrity differs: %+v vs %+v",
+			merged.Integrity(trace.KindBusLock), global.Integrity(trace.KindBusLock))
+	}
+	if !reflect.DeepEqual(merged.ConflictTrain(), global.ConflictTrain()) {
+		t.Error("replayed conflict train differs from the global auditor's")
+	}
+	if !reflect.DeepEqual(merged.ConflictIntegrity(), global.ConflictIntegrity()) {
+		t.Errorf("conflict integrity differs: %+v vs %+v",
+			merged.ConflictIntegrity(), global.ConflictIntegrity())
+	}
+}
+
+// TestStartAtValidation pins the alignment and freshness preconditions.
+func TestStartAtValidation(t *testing.T) {
+	a := mergeAuditor(t, false)
+	if err := a.StartAt(mergeQuantum + 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("off-quantum start: err = %v, want ErrBadConfig", err)
+	}
+	if err := a.StartAt(2 * mergeQuantum); err != nil {
+		t.Errorf("aligned start rejected: %v", err)
+	}
+	a.OnEvent(trace.Event{Cycle: 2*mergeQuantum + 1, Kind: trace.KindBusLock,
+		Actor: 1, Victim: trace.NoContext})
+	a.Flush(3 * mergeQuantum)
+	if err := a.StartAt(4 * mergeQuantum); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("StartAt after observation: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestMergeSlicesValidation pins shape mismatches as hard errors.
+func TestMergeSlicesValidation(t *testing.T) {
+	if _, err := MergeSlices(nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty merge: err = %v, want ErrBadConfig", err)
+	}
+	a := mergeAuditor(t, false)
+	b := MustNew(DefaultConfig(mergeQuantum))
+	if err := b.Monitor(trace.KindBusLock, mergeDeltaT*2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeSlices([]*Auditor{a, b}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("Δt mismatch: err = %v, want ErrBadConfig", err)
+	}
+	c := MustNew(DefaultConfig(mergeQuantum))
+	if _, err := MergeSlices([]*Auditor{a, c}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("slot-count mismatch: err = %v, want ErrBadConfig", err)
+	}
+}

@@ -39,27 +39,47 @@ func DefaultL2() Config {
 	return Config{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8, HitLatency: 12}
 }
 
-type line struct {
-	tag   uint64 // full line address (addr >> lineShift)
-	owner uint8
-	valid bool
-}
+// Valid blocks store tag and owner packed into one word:
+//
+//	bits 63..9  line address
+//	bit      8  valid (the tag key lineAddr<<1|1 keeps it adjacent)
+//	bits  7..0  owning hardware context
+//
+// An invalid way (word 0) can never match a lookup — the key is odd —
+// so the way scan is a shift and a compare per way over one flat
+// array, and a hit updates tag and owner with a single store. Line
+// addresses are physical addresses shifted right by the line size,
+// far below 2^55, so the packing never loses a bit.
+const invalidTag = 0
+
+func tagKey(lineAddr uint64) uint64 { return lineAddr<<1 | 1 }
+
+func encodeTag(lineAddr uint64, ctx uint8) uint64 { return tagKey(lineAddr)<<8 | uint64(ctx) }
+
+func tagOf(enc uint64) uint64 { return enc >> 8 }
+
+func decodeTag(enc uint64) uint64 { return enc >> 9 }
+
+func ownerOf(enc uint64) uint8 { return uint8(enc) }
 
 // Cache is a single set-associative cache with true-LRU replacement.
 // It is not safe for concurrent use; the simulation engine serializes
 // all accesses in global time order.
 //
-// Recency is an intrusive doubly-linked list per set, threaded
-// through flat index arrays (way w of set s is node s*Ways+w): every
-// touch relinks the block at the head in O(1), and the eviction
-// victim is the first in-partition node from the tail — no per-access
-// timestamp scan and no per-access allocation.
+// Block metadata lives in one flat array indexed by node =
+// set*Ways+way: tags holds each way's packed tag+owner word (one
+// cache line of words per 8-way set, so the hit scan touches a single
+// array). Recency is an intrusive doubly-linked list per set,
+// threaded through flat index arrays: every touch relinks the block
+// at the head in O(1), and the eviction victim is the first
+// in-partition node from the tail — no per-access timestamp scan and
+// no per-access allocation.
 type Cache struct {
 	cfg       Config
 	nsets     int
 	lineShift uint
 	setMask   uint64
-	sets      [][]line
+	tags      []uint64 // packed tag+owner words; invalidTag = empty way
 
 	// Per-set LRU lists over global node indexes; -1 terminates.
 	// lruHead[s] is set s's most recently used way, lruTail[s] its
@@ -94,17 +114,12 @@ func New(cfg Config) (*Cache, error) {
 	for 1<<shift < cfg.LineBytes {
 		shift++
 	}
-	sets := make([][]line, nsets)
-	backing := make([]line, blocks)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
-	}
 	c := &Cache{
 		cfg:       cfg,
 		nsets:     nsets,
 		lineShift: shift,
 		setMask:   uint64(nsets - 1),
-		sets:      sets,
+		tags:      make([]uint64, blocks),
 		lruPrev:   make([]int32, blocks),
 		lruNext:   make([]int32, blocks),
 		lruHead:   make([]int32, nsets),
@@ -188,6 +203,46 @@ func (c *Cache) Access(addr uint64, ctx uint8) Result {
 	return c.AccessInWays(addr, ctx, 0, c.cfg.Ways)
 }
 
+// AccessHit is Access for callers that only consume the hit/miss bit —
+// the private-L1 step of every load, where eviction details are
+// irrelevant (inclusive-hierarchy invalidations flow from the L2, not
+// from L1 replacements). Cache state, LRU order, and counters advance
+// exactly as Access would; only the Result construction is skipped.
+func (c *Cache) AccessHit(addr uint64, ctx uint8) bool {
+	lineAddr := addr >> c.lineShift
+	set := lineAddr & c.setMask
+	setBase := int(set) * c.cfg.Ways
+	ways := c.tags[setBase : setBase+c.cfg.Ways]
+	key := tagKey(lineAddr)
+	enc := key<<8 | uint64(ctx)
+	// One pass finds both the hit way and the first invalid way: L1
+	// working sets of the probing channels are built to always miss, so
+	// the miss path shouldn't rescan the tags it just read.
+	victim := -1
+	for i := range ways {
+		w := ways[i]
+		if tagOf(w) == key {
+			ways[i] = enc
+			c.touch(set, i)
+			c.hits++
+			return true
+		}
+		if w == invalidTag && victim < 0 {
+			victim = i
+		}
+	}
+	c.misses++
+	if victim < 0 {
+		// Unpartitioned access: the tail of the recency list is the
+		// victim, the same choice AccessInWays makes with a full range.
+		victim = int(c.lruTail[set]) - setBase
+		c.evictions++
+	}
+	ways[victim] = enc
+	c.touch(set, victim)
+	return false
+}
+
 // AccessInWays is Access with allocation restricted to ways [lo, hi) —
 // the hook used by way-partitioning mitigation (Wang & Lee's
 // Partition-Locking idea). Hits are honored in any way (data is data),
@@ -199,11 +254,14 @@ func (c *Cache) AccessInWays(addr uint64, ctx uint8, lo, hi int) Result {
 	}
 	lineAddr := addr >> c.lineShift
 	set := lineAddr & c.setMask
-	ways := c.sets[set]
+	setBase := int(set) * c.cfg.Ways
+	ways := c.tags[setBase : setBase+c.cfg.Ways]
+	key := tagKey(lineAddr)
+	enc := key<<8 | uint64(ctx)
 	res := Result{Set: uint32(set), LineAddr: lineAddr}
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == lineAddr {
-			ways[i].owner = ctx
+		if tagOf(ways[i]) == key {
+			ways[i] = enc
 			c.touch(set, i)
 			res.Hit = true
 			c.hits++
@@ -219,13 +277,12 @@ func (c *Cache) AccessInWays(addr uint64, ctx uint8, lo, hi int) Result {
 	// the timestamp scan used to find.
 	victim := -1
 	for i := lo; i < hi; i++ {
-		if !ways[i].valid {
+		if ways[i] == invalidTag {
 			victim = i
 			break
 		}
 	}
 	if victim < 0 {
-		setBase := int(set) * c.cfg.Ways
 		for n := c.lruTail[set]; n >= 0; n = c.lruPrev[n] {
 			if w := int(n) - setBase; w >= lo && w < hi {
 				victim = w
@@ -233,11 +290,11 @@ func (c *Cache) AccessInWays(addr uint64, ctx uint8, lo, hi int) Result {
 			}
 		}
 		res.Evicted = true
-		res.EvictedLine = ways[victim].tag
-		res.EvictedOwner = ways[victim].owner
+		res.EvictedLine = decodeTag(ways[victim])
+		res.EvictedOwner = ownerOf(ways[victim])
 		c.evictions++
 	}
-	ways[victim] = line{tag: lineAddr, owner: ctx, valid: true}
+	ways[victim] = enc
 	c.touch(set, victim)
 	return res
 }
@@ -250,10 +307,11 @@ func (c *Cache) AccessInWays(addr uint64, ctx uint8, lo, hi int) Result {
 // stale private-cache copies would hide exactly the misses the covert
 // channel and its detector both live on.
 func (c *Cache) InvalidateLine(lineAddr uint64) bool {
-	ways := c.sets[lineAddr&c.setMask]
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == lineAddr {
-			ways[i] = line{}
+	setBase := int(lineAddr&c.setMask) * c.cfg.Ways
+	key := tagKey(lineAddr)
+	for i := 0; i < c.cfg.Ways; i++ {
+		if tagOf(c.tags[setBase+i]) == key {
+			c.tags[setBase+i] = invalidTag
 			return true
 		}
 	}
@@ -264,8 +322,10 @@ func (c *Cache) InvalidateLine(lineAddr uint64) bool {
 // state. Intended for tests and assertions.
 func (c *Cache) Contains(addr uint64) bool {
 	lineAddr := addr >> c.lineShift
-	for _, l := range c.sets[lineAddr&c.setMask] {
-		if l.valid && l.tag == lineAddr {
+	setBase := int(lineAddr&c.setMask) * c.cfg.Ways
+	key := tagKey(lineAddr)
+	for i := 0; i < c.cfg.Ways; i++ {
+		if tagOf(c.tags[setBase+i]) == key {
 			return true
 		}
 	}
@@ -276,9 +336,11 @@ func (c *Cache) Contains(addr uint64) bool {
 // resident.
 func (c *Cache) Owner(addr uint64) (uint8, bool) {
 	lineAddr := addr >> c.lineShift
-	for _, l := range c.sets[lineAddr&c.setMask] {
-		if l.valid && l.tag == lineAddr {
-			return l.owner, true
+	setBase := int(lineAddr&c.setMask) * c.cfg.Ways
+	key := tagKey(lineAddr)
+	for i := 0; i < c.cfg.Ways; i++ {
+		if tagOf(c.tags[setBase+i]) == key {
+			return ownerOf(c.tags[setBase+i]), true
 		}
 	}
 	return 0, false

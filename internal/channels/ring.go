@@ -57,6 +57,7 @@ type RingTrojan struct {
 	cfg RingConfig
 
 	m     *sim.Machine
+	addrs []uint64 // working-set addresses, precomputed at Begin
 	slot  uint64
 	burst uint64
 	slice int
@@ -103,16 +104,27 @@ func (t *RingTrojan) Begin(m *sim.Machine) {
 	t.slot = t.cfg.slotCycles(geo)
 	t.burst = minU64(t.slot, t.cfg.MaxBurstCycles)
 	t.slice = ringTargetSlice(geo.RingStops)
+	t.addrs = ringWorkingSet(m, geo.L1Sets, t.slice, t.cfg.LinesPerSide)
 	t.pc = rtSlot
+}
+
+// ringWorkingSet precomputes the endpoint's probe addresses once at
+// Begin, so the per-load addr step is a table read instead of a
+// geometry fetch plus address arithmetic.
+func ringWorkingSet(m *sim.Machine, l1Sets, slice, lines int) []uint64 {
+	addrs := make([]uint64, lines)
+	for j := range addrs {
+		addrs[j] = m.PrivateAddr(ringLineIndex(j, l1Sets, slice))
+	}
+	return addrs
 }
 
 // addr returns the next working-set address, cycling the set so every
 // load misses L1 and transits the ring.
 func (t *RingTrojan) addr() uint64 {
-	geo := t.m.Geometry()
-	a := t.m.PrivateAddr(ringLineIndex(t.j, geo.L1Sets, t.slice))
+	a := t.addrs[t.j]
 	t.j++
-	if t.j == t.cfg.LinesPerSide {
+	if t.j == len(t.addrs) {
 		t.j = 0
 	}
 	return a
@@ -180,6 +192,7 @@ type RingSpy struct {
 	perBitSlowFrac []float64
 
 	m       *sim.Machine
+	addrs   []uint64 // working-set addresses, precomputed at Begin
 	slot    uint64
 	burst   uint64
 	slice   int
@@ -229,14 +242,14 @@ func (s *RingSpy) Begin(m *sim.Machine) {
 	s.slot = s.cfg.slotCycles(geo)
 	s.burst = minU64(s.slot, s.cfg.MaxBurstCycles)
 	s.slice = ringTargetSlice(geo.RingStops)
+	s.addrs = ringWorkingSet(m, geo.L1Sets, s.slice, s.cfg.LinesPerSide)
 	s.pc = rsWarm
 }
 
 func (s *RingSpy) addr() uint64 {
-	geo := s.m.Geometry()
-	a := s.m.PrivateAddr(ringLineIndex(s.j, geo.L1Sets, s.slice))
+	a := s.addrs[s.j]
 	s.j++
-	if s.j == s.cfg.LinesPerSide {
+	if s.j == len(s.addrs) {
 		s.j = 0
 	}
 	return a

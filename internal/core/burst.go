@@ -32,6 +32,13 @@ type BurstConfig struct {
 	DominantClusterShare float64
 	// Seed drives the (deterministic) k-means initialization.
 	Seed uint64
+	// Workspace, when non-nil, supplies the recurrence clustering's
+	// scratch (point-matrix headers, centroid arena, assignment and
+	// distance vectors), so repeated burst analyses run allocation-flat.
+	// Borrowed only for the duration of each analyzeRecurrence call;
+	// must not be shared across goroutines. Results are bit-identical
+	// with or without it (see TestKmeansWorkspaceMatchesReference).
+	Workspace *stats.KmeansWorkspace
 }
 
 // DefaultBurstConfig returns the paper's parameters.
@@ -192,7 +199,13 @@ func analyzeRecurrence(records []auditor.QuantumHistogram, threshold int, cfg Bu
 	}
 	// The point matrix is pooled: each feature vector is borrowed for
 	// the duration of the clustering and returned on every exit path.
+	// With a workspace, the row-header array is workspace scratch too —
+	// burstQuanta never exceeds len(records), so the appends below can
+	// never outgrow it.
 	var burstFeatures [][]float64
+	if cfg.Workspace != nil {
+		burstFeatures = cfg.Workspace.PointRows(len(records))
+	}
 	defer func() {
 		for _, f := range burstFeatures {
 			pool.PutFloat64s(f)
@@ -216,14 +229,26 @@ func analyzeRecurrence(records []auditor.QuantumHistogram, threshold int, cfg Bu
 	if limit := 1 + len(burstFeatures)/3; k > limit {
 		k = limit
 	}
-	assign, _, err := stats.KMeans(burstFeatures, k, 100, stats.NewRNG(cfg.Seed))
+	rng := stats.SeededRNG(cfg.Seed)
+	var assign []int
+	var err error
+	if cfg.Workspace != nil {
+		assign, _, err = cfg.Workspace.KMeans(burstFeatures, k, 100, &rng)
+	} else {
+		assign, _, err = stats.KMeans(burstFeatures, k, 100, &rng)
+	}
 	if err != nil {
 		// Unclusterable features (cannot happen for the fixed-width
 		// discretization above, but a supervised detector degrades
 		// rather than crashes): no recurrence can be established.
 		return burstQuanta, 0, false
 	}
-	sizes := stats.ClusterSizes(assign, k)
+	var sizes []int
+	if cfg.Workspace != nil {
+		sizes = cfg.Workspace.ClusterSizes(assign, k)
+	} else {
+		sizes = stats.ClusterSizes(assign, k)
+	}
 	largest := 0
 	for _, s := range sizes {
 		if s > largest {

@@ -197,6 +197,7 @@ type Detector struct {
 	aud *auditor.Auditor
 	cfg DetectorConfig
 	ws  *stats.Workspace
+	kws *stats.KmeansWorkspace
 }
 
 // wsPool recycles autocorrelation workspaces across detectors. The
@@ -207,6 +208,12 @@ type Detector struct {
 // its tallies reset and its buffers re-grown on first use, so results
 // are identical to a fresh one.
 var wsPool = sync.Pool{New: func() any { return stats.NewWorkspace() }}
+
+// kwsPool does the same for the burst detector's k-means scratch. A
+// KmeansWorkspace carries no counters or results across uses — every
+// method re-zeroes the scratch it hands out — so recycling is
+// result-neutral by construction.
+var kwsPool = sync.Pool{New: func() any { return new(stats.KmeansWorkspace) }}
 
 // NewDetector wraps an auditor. The auditor keeps collecting; call
 // Analyze whenever a verdict is needed, and Release when the detector
@@ -234,6 +241,14 @@ func NewDetector(aud *auditor.Auditor, cfg DetectorConfig) *Detector {
 		}
 		d.cfg.Oscillation.Workspace = d.ws
 	}
+	if d.cfg.Burst.Workspace == nil {
+		if pool.Enabled() {
+			d.kws = kwsPool.Get().(*stats.KmeansWorkspace)
+		} else {
+			d.kws = new(stats.KmeansWorkspace)
+		}
+		d.cfg.Burst.Workspace = d.kws
+	}
 	return d
 }
 
@@ -242,6 +257,13 @@ func NewDetector(aud *auditor.Auditor, cfg DetectorConfig) *Detector {
 // back; a caller-supplied OscillationConfig.Workspace stays with the
 // caller. The detector must not be used after Release.
 func (d *Detector) Release() {
+	if d.kws != nil {
+		if pool.Enabled() {
+			kwsPool.Put(d.kws)
+		}
+		d.kws = nil
+		d.cfg.Burst.Workspace = nil
+	}
 	if d.ws == nil {
 		return
 	}

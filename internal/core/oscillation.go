@@ -144,11 +144,31 @@ func AnalyzeOscillation(train *trace.Train, cfg OscillationConfig) OscillationAn
 	for _, couple := range coupleCounts(train, minEvents) {
 		a := analyzeCouple(train, couple, cfg)
 		if better(a, out) {
+			// The dethroned analysis's correlogram is dead scratch now:
+			// recycle it. The winner's transfers out of the pool with the
+			// returned analysis and is never Put.
+			pool.PutFloat64s(out.Autocorrelogram)
 			out = a
+		} else {
+			pool.PutFloat64s(a.Autocorrelogram)
 		}
 	}
 	out.Events = train.Len()
 	return out
+}
+
+// ctxSlot maps a context id (or trace.NoContext) to its coordinate in
+// the 16×16 flat pattern tables below. NoContext takes the last slot;
+// real ids 15 and above do not fit and send the caller to the
+// map-based reference build.
+func ctxSlot(v uint8) (int, bool) {
+	if v < 15 {
+		return int(v), true
+	}
+	if v == trace.NoContext {
+		return 15, true
+	}
+	return 0, false
 }
 
 // appearanceOrderSeries maps each event to its ordered pair's
@@ -157,7 +177,44 @@ func AnalyzeOscillation(train *trace.Train, cfg OscillationConfig) OscillationAn
 // transmitting pair's two directions dominate the window and thus get
 // the small, adjacent identifiers. The returned series is pooled; the
 // caller returns it after analysis.
+//
+// Identifiers live in a flat 256-entry table (16×16 ordered pairs,
+// NoContext folded into the last slot) instead of a map: zeroing 512
+// bytes replaces the per-window map allocation and per-pair hashing.
+// appearanceOrderSeriesRef is the retained map build — the
+// differential reference, and the fallback for machines with contexts
+// the flat table cannot index.
 func appearanceOrderSeries(train *trace.Train) []float64 {
+	var ids [256]int16
+	for i := range ids {
+		ids[i] = -1
+	}
+	out := pool.Float64s(train.Len())
+	next := int16(0)
+	for i, e := range train.Events() {
+		ai, okA := ctxSlot(e.Actor)
+		vi, okV := ctxSlot(e.Victim)
+		if !okA || !okV {
+			pool.PutFloat64s(out)
+			return appearanceOrderSeriesRef(train)
+		}
+		idx := ai<<4 | vi
+		id := ids[idx]
+		if id < 0 {
+			id = next
+			ids[idx] = id
+			next++
+		}
+		out[i] = float64(id)
+	}
+	return out
+}
+
+// appearanceOrderSeriesRef is the original map-based build of
+// appearanceOrderSeries, kept as the differential reference (first
+// appearance assigns the next identifier — identical to the flat scan)
+// and as the fallback for out-of-range context ids.
+func appearanceOrderSeriesRef(train *trace.Train) []float64 {
 	ids := make(map[[2]uint8]int)
 	out := pool.Float64s(train.Len())
 	for i, e := range train.Events() {
@@ -173,8 +230,39 @@ func appearanceOrderSeries(train *trace.Train) []float64 {
 }
 
 // dominantCouple reports the couple with the most events, for raw-mode
-// attribution.
+// attribution. Counts accumulate in a flat 16×16 table; the ascending
+// (a, b) scan with a strict > keeps the smallest couple among count
+// ties, exactly the reference's max-count-then-less ordering.
 func dominantCouple(train *trace.Train) [2]uint8 {
+	var counts [256]int
+	for _, e := range train.Events() {
+		if e.Victim == trace.NoContext || e.Victim == e.Actor {
+			continue
+		}
+		a, b := e.Actor, e.Victim
+		if a > b {
+			a, b = b, a
+		}
+		if b >= 15 { // b = max(a, b): one compare guards both ids
+			return dominantCoupleRef(train)
+		}
+		counts[int(a)<<4|int(b)]++
+	}
+	var best [2]uint8
+	bestN := 0
+	for a := 0; a < 15; a++ {
+		for b := a + 1; b < 15; b++ {
+			if n := counts[a<<4|b]; n > bestN {
+				best, bestN = [2]uint8{uint8(a), uint8(b)}, n
+			}
+		}
+	}
+	return best
+}
+
+// dominantCoupleRef is the original map-based dominantCouple, kept as
+// the differential reference and the wide-machine fallback.
+func dominantCoupleRef(train *trace.Train) [2]uint8 {
 	counts := make(map[[2]uint8]int)
 	for _, e := range train.Events() {
 		if e.Victim == trace.NoContext || e.Victim == e.Actor {
@@ -212,8 +300,38 @@ func better(a, b OscillationAnalysis) bool {
 func BetterOscillation(a, b OscillationAnalysis) bool { return better(a, b) }
 
 // coupleCounts returns the unordered context couples with at least
-// minEvents events (both directions combined) in the train.
+// minEvents events (both directions combined) in the train. Counts
+// accumulate in a flat 16×16 table whose ascending scan emits couples
+// already in less() order — the reference's insertion sort, for free.
 func coupleCounts(train *trace.Train, minEvents int) [][2]uint8 {
+	var counts [256]int
+	for _, e := range train.Events() {
+		if e.Victim == trace.NoContext || e.Victim == e.Actor {
+			continue
+		}
+		a, b := e.Actor, e.Victim
+		if a > b {
+			a, b = b, a
+		}
+		if b >= 15 {
+			return coupleCountsRef(train, minEvents)
+		}
+		counts[int(a)<<4|int(b)]++
+	}
+	var out [][2]uint8
+	for a := 0; a < 15; a++ {
+		for b := a + 1; b < 15; b++ {
+			if counts[a<<4|b] >= minEvents {
+				out = append(out, [2]uint8{uint8(a), uint8(b)})
+			}
+		}
+	}
+	return out
+}
+
+// coupleCountsRef is the original map-based coupleCounts, kept as the
+// differential reference and the wide-machine fallback.
+func coupleCountsRef(train *trace.Train, minEvents int) [][2]uint8 {
 	counts := make(map[[2]uint8]int)
 	for _, e := range train.Events() {
 		if e.Victim == trace.NoContext || e.Victim == e.Actor {
@@ -280,14 +398,18 @@ func analyzeSeries(series []float64, cfg OscillationConfig) OscillationAnalysis 
 	}
 	if cfg.Workspace != nil {
 		// The workspace owns the slice it returns and will overwrite it
-		// on its next use; OscillationAnalysis outlives that, so copy.
+		// on its next use; OscillationAnalysis outlives that, so copy —
+		// into a pooled buffer, which AnalyzeOscillation recycles when
+		// this analysis loses the couple comparison.
 		var acf []float64
 		if cfg.SegmentLen > 0 {
 			acf = cfg.Workspace.SegmentedAutocorrelogram(series, cfg.SegmentLen, maxLag)
 		} else {
 			acf = cfg.Workspace.Autocorrelogram(series, maxLag)
 		}
-		out.Autocorrelogram = append(make([]float64, 0, len(acf)), acf...)
+		buf := pool.Float64s(len(acf))
+		copy(buf, acf)
+		out.Autocorrelogram = buf
 	} else {
 		out.Autocorrelogram = stats.Autocorrelogram(series, maxLag)
 	}

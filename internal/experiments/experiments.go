@@ -53,6 +53,14 @@ type Options struct {
 	// results are byte-identical at every shard count (pinned by the
 	// shard-determinism tests and CI lane).
 	Shards int
+	// Slices, when > 1, splits every scenario's observation quanta
+	// across that many quantum-sliced audit lanes (see
+	// Scenario.Slices): one engine produces, the slice auditors
+	// consume in parallel, and the slices merge deterministically
+	// before analysis. Orthogonal to Shards (across-scenario
+	// parallelism) — slicing parallelizes within one run. Results are
+	// byte-identical at every slice count.
+	Slices int
 	// Metrics, when non-nil, instruments every scenario the experiment
 	// runs (see Scenario.Metrics). The registry is race-safe, so a
 	// figure's parallel sub-runs may share one; figure results are
@@ -144,6 +152,7 @@ func (o Options) cacheBPS(paperBPS float64) float64 {
 // is a bug, not user input.
 func (o Options) run(sc cchunter.Scenario) *cchunter.Result {
 	sc.Metrics = o.Metrics
+	sc.Slices = o.Slices
 	res, err := sc.Run()
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
@@ -169,6 +178,7 @@ func (o Options) runJobs(jobs []runner.Job) []runner.Result {
 func (o Options) scenarioJob(name string, sc cchunter.Scenario) runner.Job {
 	sc.Metrics = o.Metrics
 	sc.Pipelined = o.Shards > 0
+	sc.Slices = o.Slices
 	return runner.Job{Name: name, Run: func(uint64) (interface{}, error) {
 		return sc.Run()
 	}}

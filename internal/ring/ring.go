@@ -35,6 +35,7 @@ func DefaultConfig() Config {
 // counter-clockwise traffic into stop j from stop j+1.
 type Ring struct {
 	cfg       Config
+	sliceMask uint64 // stops-1 when Stops is a power of two, else 0
 	busyFrom  []uint64
 	busyUntil []uint64
 	occupant  []uint8
@@ -55,18 +56,25 @@ func New(cfg Config, l trace.Listener) *Ring {
 		cfg.HopCycles = DefaultConfig().HopCycles
 	}
 	n := 2 * cfg.Stops
-	return &Ring{
+	r := &Ring{
 		cfg:       cfg,
 		busyFrom:  make([]uint64, n),
 		busyUntil: make([]uint64, n),
 		occupant:  make([]uint8, n),
 		listener:  l,
 	}
+	if s := uint64(cfg.Stops); s&(s-1) == 0 {
+		r.sliceMask = s - 1
+	}
+	return r
 }
 
 // SliceOf returns the LLC slice (= ring stop) owning a cache line, the
 // usual low-bits address hash.
 func (r *Ring) SliceOf(lineAddr uint64) int {
+	if r.sliceMask != 0 || r.cfg.Stops == 1 {
+		return int(lineAddr & r.sliceMask)
+	}
 	return int(lineAddr % uint64(r.cfg.Stops))
 }
 
@@ -92,19 +100,28 @@ func (r *Ring) Transit(now, stamp uint64, ctx uint8, core int, lineAddr uint64) 
 	if ccw < cw {
 		dir, hops = -1, ccw
 	}
+	hop := r.cfg.HopCycles
+	busyUntil := r.busyUntil
 	cursor := now
 	emitted := false
 	stop := src
 	for h := 0; h < hops; h++ {
-		next := (stop + dir + stops) % stops
+		// dir is ±1 and stop stays in [0, stops): a compare-and-wrap
+		// replaces the per-hop modulo.
+		next := stop + dir
+		if next == stops {
+			next = 0
+		} else if next < 0 {
+			next = stops - 1
+		}
 		seg := stop // clockwise: segment index = source stop
 		if dir < 0 {
 			seg = stops + next // counter-clockwise: indexed by destination stop
 		}
 		start := cursor
-		if r.busyUntil[seg] > start {
-			waited += r.busyUntil[seg] - start
-			start = r.busyUntil[seg]
+		if busyUntil[seg] > start {
+			waited += busyUntil[seg] - start
+			start = busyUntil[seg]
 			if r.occupant[seg] != ctx && !emitted {
 				emitted = true
 				r.contention++
@@ -120,9 +137,9 @@ func (r *Ring) Transit(now, stamp uint64, ctx uint8, core int, lineAddr uint64) 
 			}
 		}
 		r.busyFrom[seg] = start
-		r.busyUntil[seg] = start + r.cfg.HopCycles
+		busyUntil[seg] = start + hop
 		r.occupant[seg] = ctx
-		cursor = start + r.cfg.HopCycles
+		cursor = start + hop
 		stop = next
 	}
 	return cursor, waited

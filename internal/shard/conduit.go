@@ -135,16 +135,27 @@ func (c *Conduit) flushCur() {
 // for the consumer; use Drain for the end-of-run barrier.
 func (c *Conduit) Flush() { c.flushCur() }
 
-// Drain flushes pending events, closes the ring, and blocks until the
-// consumer has applied every in-flight batch — the quiesce barrier
-// between simulation and analysis. After Drain the conduit delivers
-// synchronously, so late stragglers (a defensive Close-time flush)
-// still reach the listeners.
-func (c *Conduit) Drain() {
+// Seal flushes pending events and closes the ring without waiting:
+// the consumer keeps draining the backlog in the background and exits
+// when done. The splitter seals a lane the moment the event frontier
+// passes it, so a sliced run's earlier lanes finish (and free their
+// goroutines) while the simulation is still producing for later ones.
+// Drain remains the barrier that waits for the consumer.
+func (c *Conduit) Seal() {
 	if c.ring.Closed() {
 		return
 	}
 	c.flushCur()
 	c.ring.Close()
+}
+
+// Drain flushes pending events, closes the ring, and blocks until the
+// consumer has applied every in-flight batch — the quiesce barrier
+// between simulation and analysis. On an already-sealed conduit it
+// just waits out the backlog. After Drain the conduit delivers
+// synchronously, so late stragglers (a defensive Close-time flush)
+// still reach the listeners.
+func (c *Conduit) Drain() {
+	c.Seal()
 	<-c.done
 }

@@ -1,0 +1,114 @@
+package shard
+
+import "cchunter/internal/trace"
+
+// Splitter partitions one engine's time-ordered event stream across
+// quantum-sliced audit lanes: lane i owns the cycle range
+// [bounds[i-1], bounds[i]) and receives exactly the events a single
+// downstream listener would process while its observation frontier is
+// inside that range. The engine stays the lone producer; the lanes
+// (normally Conduits feeding slice-local auditors) consume in
+// parallel, so one long run's auditing parallelizes instead of only
+// whole runs.
+//
+// Routing is by the *running maximum* event cycle, not the raw cycle:
+// a degraded sensor path (timestamp jitter) may deliver events whose
+// cycles run briefly backwards, and the auditor's window state only
+// ever advances — an out-of-order event lands in whatever window is
+// open when it arrives. Frontier routing reproduces that exactly: each
+// lane's stream is a contiguous segment of arrival order, so the
+// concatenation of the lanes is the original stream and every
+// slice-local state machine sees what the global one would have.
+//
+// Lanes open lazily (first event) and seal eagerly (frontier passes
+// their bound): at most the backlogged suffix of lanes is ever live,
+// so idle-lane consumers never spin.
+type Splitter struct {
+	bounds []uint64 // ascending end cycle of lane i; the last lane also absorbs the tail
+	open   func(lane int) trace.Listener
+	seal   func(lane int)
+
+	lanes    []trace.Listener
+	cur      int
+	frontier uint64
+}
+
+// NewSplitter builds a splitter over len(bounds) lanes. open is called
+// at most once per lane, on its first event; seal is called once per
+// *opened* lane when the frontier passes its bound (and from Finish
+// for the tail). Lanes that never receive an event are never opened
+// and never sealed.
+func NewSplitter(bounds []uint64, open func(lane int) trace.Listener, seal func(lane int)) *Splitter {
+	if len(bounds) == 0 {
+		panic("shard: splitter needs at least one lane")
+	}
+	return &Splitter{
+		bounds: bounds,
+		open:   open,
+		seal:   seal,
+		lanes:  make([]trace.Listener, len(bounds)),
+	}
+}
+
+// lane returns lane i, opening it on first use.
+func (s *Splitter) lane(i int) trace.Listener {
+	if s.lanes[i] == nil {
+		s.lanes[i] = s.open(i)
+	}
+	return s.lanes[i]
+}
+
+// advance moves the routing cursor to the lane owning the frontier,
+// sealing every opened lane it leaves behind.
+func (s *Splitter) advance() {
+	for s.cur < len(s.bounds)-1 && s.frontier >= s.bounds[s.cur] {
+		if s.lanes[s.cur] != nil {
+			s.seal(s.cur)
+		}
+		s.cur++
+	}
+}
+
+// OnEvent implements trace.Listener.
+func (s *Splitter) OnEvent(e trace.Event) {
+	if e.Cycle > s.frontier {
+		s.frontier = e.Cycle
+		s.advance()
+	}
+	s.lane(s.cur).OnEvent(e)
+}
+
+// OnEvents implements trace.BatchListener: one pass over the batch,
+// cut into contiguous segments wherever the frontier crosses a lane
+// bound, each segment delivered to its lane in order.
+func (s *Splitter) OnEvents(events []trace.Event) {
+	start := 0
+	for i := range events {
+		c := events[i].Cycle
+		if c <= s.frontier {
+			continue
+		}
+		s.frontier = c
+		if s.cur == len(s.bounds)-1 || s.frontier < s.bounds[s.cur] {
+			continue
+		}
+		// Event i belongs to a later lane: flush the segment so far.
+		if i > start {
+			trace.Deliver(s.lane(s.cur), events[start:i])
+		}
+		start = i
+		s.advance()
+	}
+	if start < len(events) {
+		trace.Deliver(s.lane(s.cur), events[start:])
+	}
+}
+
+// Finish seals the still-open tail lane (if any). Call once, after the
+// producer has emitted its last event; the caller then drains the lane
+// consumers in lane order.
+func (s *Splitter) Finish() {
+	if s.lanes[s.cur] != nil {
+		s.seal(s.cur)
+	}
+}

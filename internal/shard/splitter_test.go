@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"cchunter/internal/trace"
+)
+
+// laneLog records one lane's delivered events plus the open/seal
+// lifecycle, so routing tests can assert both placement and ordering.
+type laneLog struct {
+	events []trace.Event
+	sealed bool
+}
+
+func (l *laneLog) OnEvent(e trace.Event) { l.events = append(l.events, e) }
+
+func ev(cycle uint64) trace.Event {
+	return trace.Event{Cycle: cycle, Kind: trace.KindBusLock, Victim: trace.NoContext}
+}
+
+func newTestSplitter(bounds []uint64) (*Splitter, []*laneLog) {
+	logs := make([]*laneLog, len(bounds))
+	s := NewSplitter(bounds,
+		func(i int) trace.Listener {
+			if logs[i] != nil {
+				panic("lane opened twice")
+			}
+			logs[i] = &laneLog{}
+			return logs[i]
+		},
+		func(i int) {
+			if logs[i] == nil || logs[i].sealed {
+				panic("seal of unopened or already-sealed lane")
+			}
+			logs[i].sealed = true
+		})
+	return s, logs
+}
+
+// TestSplitterRoutesByBounds pins the basic contract: each lane
+// receives exactly the events delivered while the frontier is inside
+// its cycle range, and their concatenation is the input order.
+func TestSplitterRoutesByBounds(t *testing.T) {
+	s, logs := newTestSplitter([]uint64{100, 200, 300})
+	in := []trace.Event{ev(10), ev(99), ev(100), ev(150), ev(200), ev(250), ev(999)}
+	s.OnEvents(in)
+	s.Finish()
+
+	wantPerLane := [][]trace.Event{
+		{ev(10), ev(99)},
+		{ev(100), ev(150)},
+		{ev(200), ev(250), ev(999)}, // tail lane absorbs past-the-end cycles
+	}
+	var concat []trace.Event
+	for i, log := range logs {
+		if log == nil {
+			t.Fatalf("lane %d never opened", i)
+		}
+		if !log.sealed {
+			t.Errorf("lane %d not sealed", i)
+		}
+		if !reflect.DeepEqual(log.events, wantPerLane[i]) {
+			t.Errorf("lane %d got %v, want %v", i, log.events, wantPerLane[i])
+		}
+		concat = append(concat, log.events...)
+	}
+	if !reflect.DeepEqual(concat, in) {
+		t.Errorf("lane concatenation reorders the stream: %v", concat)
+	}
+}
+
+// TestSplitterFrontierRouting pins the jitter contract: routing
+// follows the running-maximum cycle, so an out-of-order event stays in
+// the lane whose range contains the frontier — exactly where the
+// global auditor's advance-only window state would have put it.
+func TestSplitterFrontierRouting(t *testing.T) {
+	s, logs := newTestSplitter([]uint64{100, 200})
+	// 150 moves the frontier into lane 1; the jittered 90 must follow
+	// it there, not resurrect lane 0.
+	s.OnEvents([]trace.Event{ev(50), ev(150), ev(90), ev(160)})
+	s.Finish()
+	want0 := []trace.Event{ev(50)}
+	want1 := []trace.Event{ev(150), ev(90), ev(160)}
+	if !reflect.DeepEqual(logs[0].events, want0) {
+		t.Errorf("lane 0 got %v, want %v", logs[0].events, want0)
+	}
+	if !reflect.DeepEqual(logs[1].events, want1) {
+		t.Errorf("lane 1 got %v, want %v", logs[1].events, want1)
+	}
+}
+
+// TestSplitterSkipsEmptyLanes pins laziness: a lane whose range the
+// frontier jumps straight over is never opened and never sealed.
+func TestSplitterSkipsEmptyLanes(t *testing.T) {
+	s, logs := newTestSplitter([]uint64{100, 200, 300, 400})
+	s.OnEvents([]trace.Event{ev(10), ev(350)})
+	s.Finish()
+	if logs[1] != nil || logs[2] != nil {
+		t.Error("empty middle lanes were opened")
+	}
+	if logs[0] == nil || !logs[0].sealed {
+		t.Error("lane 0 should be open and sealed")
+	}
+	if logs[3] == nil || !logs[3].sealed {
+		t.Error("tail lane should be open and sealed by Finish")
+	}
+}
+
+// TestSplitterPerEventPath drives the unbatched OnEvent entry point
+// across a bound and checks it matches the batched routing.
+func TestSplitterPerEventPath(t *testing.T) {
+	s, logs := newTestSplitter([]uint64{100, 200})
+	for _, e := range []trace.Event{ev(10), ev(99), ev(120), ev(80)} {
+		s.OnEvent(e)
+	}
+	s.Finish()
+	want0 := []trace.Event{ev(10), ev(99)}
+	want1 := []trace.Event{ev(120), ev(80)}
+	if !reflect.DeepEqual(logs[0].events, want0) || !reflect.DeepEqual(logs[1].events, want1) {
+		t.Errorf("per-event routing: lane0=%v lane1=%v", logs[0].events, logs[1].events)
+	}
+}
+
+// TestSplitterEagerSeal pins that a lane is sealed as soon as the
+// frontier passes its bound — not deferred to Finish — so its consumer
+// can quiesce while the run continues.
+func TestSplitterEagerSeal(t *testing.T) {
+	s, logs := newTestSplitter([]uint64{100, 200})
+	s.OnEvents([]trace.Event{ev(10)})
+	if logs[0].sealed {
+		t.Fatal("lane 0 sealed while frontier still inside it")
+	}
+	s.OnEvents([]trace.Event{ev(110)})
+	if !logs[0].sealed {
+		t.Error("lane 0 not sealed after frontier crossed its bound")
+	}
+	if logs[1].sealed {
+		t.Error("tail lane sealed early")
+	}
+	s.Finish()
+	if !logs[1].sealed {
+		t.Error("Finish did not seal the tail lane")
+	}
+}

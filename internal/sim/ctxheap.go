@@ -72,6 +72,17 @@ func (s *System) heapFix(c *hwContext) {
 	if c.heapIdx < 0 {
 		return
 	}
+	if len(s.heap) == 2 {
+		// Two runnable contexts — the trojan/spy steady state of every
+		// channel scenario, hit once per executed op: order is a single
+		// compare-and-swap, no sift needed.
+		h := s.heap
+		if ctxLess(h[1], h[0]) {
+			h[0], h[1] = h[1], h[0]
+			h[0].heapIdx, h[1].heapIdx = 0, 1
+		}
+		return
+	}
 	if !s.heapDown(c.heapIdx) {
 		s.heapUp(c.heapIdx)
 	}

@@ -44,16 +44,28 @@ func (s *System) Run(until uint64) {
 			s.reapProc(c, p)
 			continue
 		}
-		if !p.hasPend && !s.fetchOp(p) {
-			s.reapProc(c, p)
-			continue
+		if !p.hasPend {
+			// Stepper fetch inlined: this runs once per op, and the call
+			// through fetchOp costs a visible fraction of the whole run.
+			if p.step != nil {
+				op, ok := p.step.Step(p.last)
+				if !ok {
+					p.done = true
+					s.reapProc(c, p)
+					continue
+				}
+				p.pendOp, p.hasPend = op, true
+			} else if !s.fetchOp(p) {
+				s.reapProc(c, p)
+				continue
+			}
 		}
 		if c.clock >= c.quantumEnd {
 			s.quantumBoundary(c)
 			continue // placement may have changed; re-pick
 		}
 		p.hasPend = false
-		res := s.execute(c, p, p.pendOp)
+		res := s.execute(c, &p.pendOp)
 		if p.step != nil {
 			p.last = res
 		} else {
@@ -206,11 +218,13 @@ func (s *System) quantumBoundary(c *hwContext) {
 	}
 }
 
-// execute performs one operation for process p on context c at the
-// context's current clock and returns the program-observable result.
-// Indicator events are stamped at the issue cycle, which equals the
-// global minimum clock, keeping the event stream time-ordered.
-func (s *System) execute(c *hwContext, p *Process, op Op) OpResult {
+// execute performs one operation on context c at the context's
+// current clock and returns the program-observable result. The op is
+// passed by pointer (it lives in the process's pendOp slot) so the
+// steady-state loop moves no 56-byte struct per operation. Indicator
+// events are stamped at the issue cycle, which equals the global
+// minimum clock, keeping the event stream time-ordered.
+func (s *System) execute(c *hwContext, op *Op) OpResult {
 	s.opCount++ // published at quantum boundaries; see publishMetrics
 	t0 := c.clock
 	var latency uint64
@@ -290,9 +304,8 @@ func (s *System) dividerSlot(c *hwContext, now uint64) uint64 {
 // the global event stream time-ordered across batched accesses).
 func (s *System) memAccess(c *hwContext, addr uint64, now, stamp uint64) uint64 {
 	co := c.core
-	l1 := co.l1.Access(addr, c.id)
 	lat := co.l1.HitLatency()
-	if l1.Hit {
+	if co.l1.AccessHit(addr, c.id) {
 		return lat
 	}
 	if s.ring != nil {
@@ -316,7 +329,7 @@ func (s *System) memAccess(c *hwContext, addr uint64, now, stamp uint64) uint64 
 			other.l1.InvalidateLine(l2.EvictedLine)
 		}
 	}
-	isConflict := s.tracker.Observe(conflict.Observation{
+	ob := conflict.Observation{
 		LineAddr:     l2.LineAddr,
 		Set:          l2.Set,
 		Ctx:          c.id,
@@ -324,7 +337,15 @@ func (s *System) memAccess(c *hwContext, addr uint64, now, stamp uint64) uint64 
 		Evicted:      l2.Evicted,
 		EvictedLine:  l2.EvictedLine,
 		EvictedOwner: l2.EvictedOwner,
-	})
+	}
+	var isConflict bool
+	if s.trackGen != nil {
+		// Concrete call on the default tracker; skips the interface
+		// dispatch this loop pays once per L2 access.
+		isConflict = s.trackGen.Observe(ob)
+	} else {
+		isConflict = s.tracker.Observe(ob)
+	}
 	if isConflict {
 		victim := trace.NoContext
 		if l2.Evicted {

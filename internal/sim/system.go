@@ -86,6 +86,11 @@ type System struct {
 	contexts  []*hwContext
 	l2        *cache.Cache
 	tracker   conflict.Tracker
+	// trackGen aliases tracker when the practical generational design
+	// is selected (the default): the hot path then observes through a
+	// concrete pointer — a direct, inlinable call — instead of an
+	// interface dispatch per L2 access.
+	trackGen  *conflict.Generational
 	bus       *bus.Bus
 	ring      *ring.Ring // nil unless cfg.Ring.Stops > 0
 	lineShift uint       // log2(L2 line bytes), for ring slice hashing
@@ -181,6 +186,7 @@ func New(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("%w: tracker: %v", ErrBadConfig, err)
 		}
 		s.tracker = t
+		s.trackGen = t
 	}
 	for c := 0; c < cfg.Cores; c++ {
 		l1, err := cache.New(cfg.L1)

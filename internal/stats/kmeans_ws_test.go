@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// randomPoints draws an n×dim matrix from r, with a few coincident
+// rows mixed in so degenerate geometry (zero distances, empty
+// k-means++ mass) stays covered.
+func randomPoints(r *RNG, n, dim int) [][]float64 {
+	points := make([][]float64, n)
+	for i := range points {
+		p := make([]float64, dim)
+		if i%7 == 3 && i > 0 {
+			copy(p, points[i-1]) // duplicate point
+		} else {
+			for d := range p {
+				p[d] = r.NormFloat64() * 5
+			}
+		}
+		points[i] = p
+	}
+	return points
+}
+
+// TestKmeansWorkspaceMatchesReference differentially pins the
+// workspace build against the retained allocating KMeans: same points,
+// same seed, identical assignments, bit-identical centroids, identical
+// cluster sizes and silhouette — across shapes, k values, and repeated
+// reuse of one workspace (stale scratch must never leak through).
+func TestKmeansWorkspaceMatchesReference(t *testing.T) {
+	var ws KmeansWorkspace
+	cases := []struct{ n, dim, k int }{
+		{1, 1, 1}, {2, 1, 5}, {10, 2, 3}, {50, 4, 2},
+		{100, 3, 8}, {17, 6, 4}, {64, 2, 64}, {5, 1, 2},
+	}
+	for ci, tc := range cases {
+		seed := uint64(ci)*101 + 7
+		points := randomPoints(NewRNG(seed), tc.n, tc.dim)
+
+		wantAssign, wantCent, wantErr := KMeans(points, tc.k, 100, NewRNG(seed))
+		gotAssign, gotCent, gotErr := ws.KMeans(points, tc.k, 100, NewRNG(seed))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("n=%d dim=%d k=%d: err %v vs reference %v", tc.n, tc.dim, tc.k, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(gotAssign, wantAssign) {
+			t.Errorf("n=%d dim=%d k=%d: assignments diverge from reference", tc.n, tc.dim, tc.k)
+		}
+		if !reflect.DeepEqual(gotCent, wantCent) {
+			t.Errorf("n=%d dim=%d k=%d: centroids diverge from reference", tc.n, tc.dim, tc.k)
+		}
+
+		k := tc.k
+		if k > tc.n {
+			k = tc.n
+		}
+		if !reflect.DeepEqual(ws.ClusterSizes(gotAssign, k), ClusterSizes(wantAssign, k)) {
+			t.Errorf("n=%d dim=%d k=%d: cluster sizes diverge", tc.n, tc.dim, tc.k)
+		}
+		wantSil := Silhouette(points, wantAssign, k)
+		gotSil := ws.Silhouette(points, gotAssign, k)
+		if gotSil != wantSil && !(math.IsNaN(gotSil) && math.IsNaN(wantSil)) {
+			t.Errorf("n=%d dim=%d k=%d: silhouette %v, reference %v", tc.n, tc.dim, tc.k, gotSil, wantSil)
+		}
+	}
+}
+
+// TestKmeansWorkspaceEdgeCases pins the degenerate-input contract to
+// the reference's: empty input and k<=0 return nils.
+func TestKmeansWorkspaceEdgeCases(t *testing.T) {
+	var ws KmeansWorkspace
+	if a, c, err := ws.KMeans(nil, 3, 10, nil); a != nil || c != nil || err != nil {
+		t.Error("empty input should return nils")
+	}
+	if a, c, err := ws.KMeans([][]float64{{1}}, 0, 10, nil); a != nil || c != nil || err != nil {
+		t.Error("k=0 should return nils")
+	}
+	if _, _, err := ws.KMeans([][]float64{{1, 2}, {3}}, 2, 10, NewRNG(1)); err == nil {
+		t.Error("ragged points should error like the reference")
+	}
+}
+
+// TestKmeansWorkspaceAllocationFree pins the tentpole property: after
+// one warm-up call, clustering (plus sizes and silhouette) through the
+// workspace performs zero heap allocations.
+func TestKmeansWorkspaceAllocationFree(t *testing.T) {
+	var ws KmeansWorkspace
+	points := randomPoints(NewRNG(3), 60, 4)
+	ws.KMeans(points, 4, 100, NewRNG(3)) // warm-up sizes the arenas
+	rng := SeededRNG(3)
+	allocs := testing.AllocsPerRun(20, func() {
+		r := rng // value copy: reset the stream without a heap RNG
+		assign, _, err := ws.KMeans(points, 4, 100, &r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws.Silhouette(points, assign, 4)
+	})
+	if allocs > 0 {
+		t.Errorf("warmed workspace clustering allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// FuzzKmeansWorkspace drives the workspace and the reference with
+// fuzzer-chosen shapes and seeds, reusing one workspace across every
+// input, and requires bit-identical results.
+func FuzzKmeansWorkspace(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(2), uint8(3))
+	f.Add(uint64(99), uint8(40), uint8(5), uint8(1))
+	f.Add(uint64(0xbeef), uint8(3), uint8(1), uint8(7))
+	var ws KmeansWorkspace
+	f.Fuzz(func(t *testing.T, seed uint64, n, dim, k uint8) {
+		pn := int(n%80) + 1
+		pd := int(dim%6) + 1
+		pk := int(k%12) + 1
+		points := randomPoints(NewRNG(seed), pn, pd)
+		wantAssign, wantCent, wantErr := KMeans(points, pk, 100, NewRNG(seed))
+		gotAssign, gotCent, gotErr := ws.KMeans(points, pk, 100, NewRNG(seed))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: %v vs %v", gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(gotAssign, wantAssign) || !reflect.DeepEqual(gotCent, wantCent) {
+			t.Fatalf("workspace diverges from reference (seed=%d n=%d dim=%d k=%d)", seed, pn, pd, pk)
+		}
+		kk := pk
+		if kk > pn {
+			kk = pn
+		}
+		wantSil := Silhouette(points, wantAssign, kk)
+		gotSil := ws.Silhouette(points, gotAssign, kk)
+		if gotSil != wantSil && !(math.IsNaN(gotSil) && math.IsNaN(wantSil)) {
+			t.Fatalf("silhouette diverges: %v vs %v", gotSil, wantSil)
+		}
+	})
+}

@@ -20,6 +20,15 @@ type RNG struct {
 // NewRNG returns a generator seeded from seed. Two RNGs built from the
 // same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
+	r := SeededRNG(seed)
+	return &r
+}
+
+// SeededRNG returns the generator for seed by value, for hot callers
+// that want the state on their own stack instead of a fresh heap
+// object per analysis. SeededRNG(s) and *NewRNG(s) are the same
+// generator.
+func SeededRNG(seed uint64) RNG {
 	// splitmix64 step so that small seeds (0, 1, 2...) still produce
 	// well-mixed initial states.
 	z := seed + 0x9e3779b97f4a7c15
@@ -29,7 +38,7 @@ func NewRNG(seed uint64) *RNG {
 	if z == 0 {
 		z = 0x853c49e6748fea9b
 	}
-	return &RNG{state: z}
+	return RNG{state: z}
 }
 
 // Uint64 returns the next 64 pseudo-random bits.

@@ -129,6 +129,12 @@ func New(aud *auditor.Auditor, cfg Config) *Detector {
 		d.ws = stats.NewWorkspace()
 		d.dcfg.Oscillation.Workspace = d.ws
 	}
+	if d.dcfg.Burst.Workspace == nil {
+		// One k-means scratch for every interim and final burst
+		// analysis this daemon ever runs; analyses are sequential, so
+		// the borrow never overlaps.
+		d.dcfg.Burst.Workspace = new(stats.KmeansWorkspace)
+	}
 	for _, kind := range core.BurstKinds {
 		if aud.DeltaT(kind) == 0 {
 			continue

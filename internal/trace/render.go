@@ -3,22 +3,43 @@ package trace
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
+
+// renderChunk is the flush threshold for the CSV writers' append
+// buffers: rows accumulate into one scratch slice and go to the writer
+// in chunks, so a dump costs a handful of allocations total instead of
+// two fmt allocations per row.
+const renderChunk = 32 << 10
 
 // WriteCSV writes the train as "cycle,kind,actor,victim,unit" rows,
 // preceded by a header, for offline plotting.
 func (t *Train) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "cycle,kind,actor,victim,unit\n"); err != nil {
-		return err
-	}
+	buf := make([]byte, 0, renderChunk+256)
+	buf = append(buf, "cycle,kind,actor,victim,unit\n"...)
 	for _, e := range t.events {
-		victim := ""
+		buf = strconv.AppendUint(buf, e.Cycle, 10)
+		buf = append(buf, ',')
+		buf = append(buf, e.Kind.String()...)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, uint64(e.Actor), 10)
+		buf = append(buf, ',')
 		if e.Victim != NoContext {
-			victim = fmt.Sprintf("%d", e.Victim)
+			buf = strconv.AppendUint(buf, uint64(e.Victim), 10)
 		}
-		if _, err := fmt.Fprintf(w, "%d,%s,%d,%s,%d\n",
-			e.Cycle, e.Kind, e.Actor, victim, e.Unit); err != nil {
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, uint64(e.Unit), 10)
+		buf = append(buf, '\n')
+		if len(buf) >= renderChunk {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
@@ -66,11 +87,26 @@ func (t *Train) ASCIITrain(width int) string {
 // given column names; used by experiments to dump autocorrelograms and
 // latency traces.
 func WriteSeriesCSV(w io.Writer, xName, yName string, ys []float64) error {
-	if _, err := fmt.Fprintf(w, "%s,%s\n", xName, yName); err != nil {
-		return err
-	}
+	buf := make([]byte, 0, renderChunk+256)
+	buf = append(buf, xName...)
+	buf = append(buf, ',')
+	buf = append(buf, yName...)
+	buf = append(buf, '\n')
 	for i, y := range ys {
-		if _, err := fmt.Fprintf(w, "%d,%g\n", i, y); err != nil {
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = append(buf, ',')
+		// 'g' with the shortest precision is exactly fmt's %g.
+		buf = strconv.AppendFloat(buf, y, 'g', -1, 64)
+		buf = append(buf, '\n')
+		if len(buf) >= renderChunk {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}

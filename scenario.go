@@ -149,6 +149,20 @@ type Scenario struct {
 	// (pinned by the conduit equivalence tests); this is the per-shard
 	// delivery mode RunSharded and the experiments' shard lanes use.
 	Pipelined bool
+	// Slices, when > 1, splits this one run's observation quanta
+	// across that many audit lanes: a shard splitter routes the
+	// engine's time-ordered event stream at quantum-aligned boundaries
+	// into per-slice SPSC conduits, each feeding a slice-local
+	// auditor, and the slices merge deterministically before analysis
+	// (records concatenate in slice order, integrity counters sum, raw
+	// conflict captures replay serially through one dedup comparator).
+	// A single long run then parallelizes its auditing instead of only
+	// whole runs parallelizing against each other. Purely a throughput
+	// knob: results are byte-identical at every slice count (pinned by
+	// the slice-determinism tests and CI lane). Runs whose
+	// configuration cannot satisfy the alignment invariant (a Δt not
+	// dividing the quantum) and streaming runs degrade to one slice.
+	Slices int
 
 	// eventBatch overrides the simulator's event-delivery batch size
 	// (0 = default, 1 = per-event callbacks). Unexported: batching is
@@ -317,14 +331,26 @@ func (sc Scenario) Run() (*Result, error) {
 		}
 	}
 
+	end := uint64(cfg.DurationQuanta) * cfg.QuantumCycles
+
 	// Streaming mode interposes the daemon between simulator and
 	// auditor; it forwards every event and drains continuously.
+	// Quantum-sliced mode replaces the auditor with a splitter fanning
+	// the stream across slice-local auditors (merged before analysis).
 	var listeners trace.Tee
 	var streamDet *stream.Detector
-	if sc.Stream {
+	var sliced *slicedAudit
+	switch {
+	case sc.Stream:
 		streamDet = stream.New(aud, stream.Config{Detector: detCfg})
 		listeners = append(listeners, streamDet)
-	} else {
+	case sc.sliceCount(cfg) > 1:
+		sliced, err = newSlicedAudit(sc.sliceCount(cfg), cfg, kinds, sc.Metrics, sc.eventBatch)
+		if err != nil {
+			return nil, fmt.Errorf("cchunter: slicing run: %w", err)
+		}
+		listeners = append(listeners, sliced.splitter)
+	default:
 		listeners = append(listeners, aud)
 	}
 	var flight *recorder.Recorder
@@ -338,10 +364,12 @@ func (sc Scenario) Run() (*Result, error) {
 		listeners = append(listeners, raw)
 	}
 	var conduit *shard.Conduit
-	if sc.Pipelined {
+	if sc.Pipelined && sliced == nil {
 		// Pipelined delivery: the conduit is the engine's only
 		// listener; the real consumers run on its goroutine and the
-		// drain below is the sim → analysis barrier.
+		// drain below is the sim → analysis barrier. A sliced run's
+		// conduits live per lane instead — the splitter itself stays
+		// on the engine thread so its routing cursor has one writer.
 		conduit = shard.NewConduit(listeners, 0, sc.eventBatch)
 		system.AddListener(conduit)
 	} else {
@@ -387,11 +415,19 @@ func (sc Scenario) Run() (*Result, error) {
 		system.Spawn(workload.New(workload.Background(i), cfg.Seed+uint64(i)+100))
 	}
 
-	end := uint64(cfg.DurationQuanta) * cfg.QuantumCycles
 	simSpan := sc.Metrics.Timer("scenario.sim_ns").Start()
 	system.Run(end)
 	if conduit != nil {
 		conduit.Drain()
+	}
+	if sliced != nil {
+		// Quiesce the lanes in slice order and stitch the slice-local
+		// auditors into the one the detector analyzes.
+		merged, mErr := sliced.finish(end)
+		if mErr != nil {
+			return nil, fmt.Errorf("cchunter: merging slices: %w", mErr)
+		}
+		aud = merged
 	}
 	simSpan.End()
 

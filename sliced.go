@@ -1,0 +1,175 @@
+package cchunter
+
+import (
+	"fmt"
+
+	"cchunter/internal/auditor"
+	"cchunter/internal/core"
+	"cchunter/internal/shard"
+	"cchunter/internal/trace"
+)
+
+// RunSliced executes one scenario with its observation quanta split
+// across `slices` audit lanes (see Scenario.Slices): the single
+// simulator engine stays the producer, and the per-slice SPSC conduits
+// consume quantum-aligned segments of its event stream in parallel,
+// merged deterministically before analysis. The result is
+// byte-identical to Scenario.Run at every slice count.
+//
+// slices <= 1 is the plain serial run.
+func RunSliced(slices int, sc Scenario) (*Result, error) {
+	sc.Slices = slices
+	return sc.Run()
+}
+
+// sliceCount resolves the effective lane count for a run: the
+// requested Slices, capped at one quantum per lane, degraded to 1 when
+// the configuration cannot satisfy the alignment invariant (slice
+// boundaries must land on quantum boundaries that are also Δt-window
+// boundaries for every monitored unit) or when the streaming daemon —
+// an inherently sequential consumer — owns the stream.
+func (sc Scenario) sliceCount(cfg normalized) int {
+	s := sc.Slices
+	if s <= 1 || sc.Stream {
+		return 1
+	}
+	if s > cfg.DurationQuanta {
+		s = cfg.DurationQuanta
+	}
+	for _, k := range sc.monitorKinds() {
+		if d := core.DefaultDeltaT(k); d == 0 || cfg.QuantumCycles%d != 0 {
+			return 1
+		}
+	}
+	return s
+}
+
+// conflictCollector captures raw conflict-miss events in arrival
+// order. Slice lanes use it instead of per-lane vector registers: the
+// auditor's hardware dedup comparator is keyed on the whole event
+// sequence, so the merge replays the concatenated raw captures through
+// one comparator serially (auditor.ReplayConflicts) and reproduces the
+// global train exactly.
+type conflictCollector struct {
+	events []trace.Event
+}
+
+func (c *conflictCollector) OnEvent(e trace.Event) {
+	if e.Kind == trace.KindConflictMiss {
+		c.events = append(c.events, e)
+	}
+}
+
+// OnEvents implements trace.BatchListener.
+func (c *conflictCollector) OnEvents(events []trace.Event) {
+	for i := range events {
+		if events[i].Kind == trace.KindConflictMiss {
+			c.events = append(c.events, events[i])
+		}
+	}
+}
+
+// sliceLane is one quantum range's audit machinery: a slice-local
+// auditor primed at the lane's start cycle, a raw conflict capture,
+// and (once the lane sees its first event) an SPSC conduit whose
+// consumer goroutine owns both.
+type sliceLane struct {
+	aud  *auditor.Auditor
+	coll *conflictCollector
+	cond *shard.Conduit
+	end  uint64 // exclusive end cycle of the lane's quantum range
+}
+
+// slicedAudit wires a quantum-sliced run: the splitter (the engine's
+// listener) routes the stream across the lanes; finish quiesces and
+// merges them.
+type slicedAudit struct {
+	splitter *shard.Splitter
+	lanes    []*sliceLane
+	reg      *MetricsRegistry
+}
+
+// newSlicedAudit partitions cfg.DurationQuanta observation quanta into
+// `slices` contiguous ranges (earlier lanes take the remainder quanta)
+// and builds the lane auditors and the splitter. Lane conduits are
+// opened lazily by the splitter and sealed as the event frontier
+// passes them, so at most the backlogged suffix of lanes ever holds a
+// live consumer goroutine.
+func newSlicedAudit(slices int, cfg normalized, kinds []trace.Kind, reg *MetricsRegistry, eventBatch int) (*slicedAudit, error) {
+	base := cfg.DurationQuanta / slices
+	rem := cfg.DurationQuanta % slices
+	lanes := make([]*sliceLane, slices)
+	bounds := make([]uint64, slices)
+	startQ := 0
+	for i := range lanes {
+		q := base
+		if i < rem {
+			q++
+		}
+		start := uint64(startQ) * cfg.QuantumCycles
+		end := uint64(startQ+q) * cfg.QuantumCycles
+		a, err := auditor.New(auditor.DefaultConfig(cfg.QuantumCycles))
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range kinds {
+			if err := a.Monitor(k, core.DefaultDeltaT(k)); err != nil {
+				return nil, err
+			}
+		}
+		if err := a.StartAt(start); err != nil {
+			return nil, err
+		}
+		a.Instrument(reg)
+		lanes[i] = &sliceLane{aud: a, coll: &conflictCollector{}, end: end}
+		bounds[i] = end
+		startQ += q
+	}
+	sa := &slicedAudit{lanes: lanes, reg: reg}
+	sa.splitter = shard.NewSplitter(bounds,
+		func(i int) trace.Listener {
+			l := lanes[i]
+			l.cond = shard.NewConduit(trace.Tee{l.aud, l.coll}, 0, eventBatch)
+			return l.cond
+		},
+		func(i int) { lanes[i].cond.Seal() },
+	)
+	return sa, nil
+}
+
+// finish is the sliced run's sim → analysis barrier: seal the tail
+// lane, drain every opened conduit in lane order, flush each slice
+// auditor to its end boundary (recording its trailing quiet quanta),
+// stitch the slices into one auditor, and replay the concatenated raw
+// conflict captures through its dedup comparator. The returned auditor
+// is indistinguishable from one that observed the whole run.
+func (sa *slicedAudit) finish(end uint64) (*auditor.Auditor, error) {
+	sa.splitter.Finish()
+	auds := make([]*auditor.Auditor, len(sa.lanes))
+	for i, l := range sa.lanes {
+		if l.cond != nil {
+			l.cond.Drain()
+		}
+		flushTo := l.end
+		if i == len(sa.lanes)-1 {
+			flushTo = end
+		}
+		l.aud.Flush(flushTo)
+		auds[i] = l.aud
+	}
+	merged, err := auditor.MergeSlices(auds)
+	if err != nil {
+		return nil, err
+	}
+	// Instrument before MonitorConflicts so the replayed conflict
+	// capture lands in the same metrics the serial path would record
+	// (the lanes already tallied the slot-side instruments).
+	merged.Instrument(sa.reg)
+	if err := merged.MonitorConflicts(); err != nil {
+		return nil, fmt.Errorf("re-enabling conflict monitoring: %w", err)
+	}
+	for _, l := range sa.lanes {
+		merged.ReplayConflicts(l.coll.events)
+	}
+	return merged, nil
+}

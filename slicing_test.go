@@ -1,0 +1,152 @@
+package cchunter
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSlicedMatchesSerial pins quantum-slicing determinism at the
+// whole-pipeline level: a run split across slice-local audit lanes
+// must produce a deeply equal Result — verdict, decoded bits,
+// histograms, conflict trains, fault counters — to the serial run, at
+// every slice count. Reuses the batching equivalence corpus, which
+// covers all channels plus a jittered sensor path (the case that
+// forces the splitter's running-maximum frontier routing).
+func TestSlicedMatchesSerial(t *testing.T) {
+	for name, sc := range batchingScenarios() {
+		sc := sc
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			want, err := sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, slices := range []int{2, 3, 8} {
+				got, err := RunSliced(slices, sc)
+				if err != nil {
+					t.Fatalf("slices=%d: %v", slices, err)
+				}
+				if got.Report.String() != want.Report.String() {
+					t.Errorf("slices=%d: report differs:\n%s\nvs serial:\n%s",
+						slices, got.Report, want.Report)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("slices=%d: result differs from serial run", slices)
+				}
+			}
+		})
+	}
+}
+
+// TestSlicedGoldenCorpus replays the golden regression corpus through
+// the sliced path and compares the serialized verdicts byte-for-byte
+// against the pinned testdata/golden files: slicing must not disturb a
+// single byte of any frozen verdict.
+func TestSlicedGoldenCorpus(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunSliced(8, tc.sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenMarshal(t, res)
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden file: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("sliced verdict drifted from %s:\ngot:\n%s\nwant:\n%s",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestSliceCountDegrades pins the fallback ladder: the streaming
+// daemon owns the stream (sequential — one slice), the lane count
+// never exceeds the quantum count, and a plain scenario honors the
+// request.
+func TestSliceCountDegrades(t *testing.T) {
+	base := Scenario{
+		Channel:       ChannelMemoryBus,
+		BandwidthBPS:  1000,
+		Message:       RandomMessage(8, 3),
+		QuantumCycles: testQuantum,
+	}
+	cfg, err := base.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := base
+	sc.Slices = 4
+	if got := sc.sliceCount(cfg); got != 4 {
+		t.Errorf("plain scenario: sliceCount = %d, want 4", got)
+	}
+	sc.Stream = true
+	if got := sc.sliceCount(cfg); got != 1 {
+		t.Errorf("streaming scenario: sliceCount = %d, want 1", got)
+	}
+	sc.Stream = false
+	sc.Slices = 10 * cfg.DurationQuanta
+	if got := sc.sliceCount(cfg); got > cfg.DurationQuanta {
+		t.Errorf("sliceCount = %d exceeds %d quanta", got, cfg.DurationQuanta)
+	}
+
+	// Over-requesting lanes must still run and still match serial.
+	want, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSliced(1000, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("over-sliced run differs from serial run")
+	}
+}
+
+// FuzzSlicedEquivalence fuzzes scenario parameters and slice counts
+// and asserts the quantum-sliced run is byte-identical to the serial
+// single-auditor run — the tentpole's determinism contract under
+// adversarial message/seed/channel/lane combinations.
+func FuzzSlicedEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(0), uint8(2))
+	f.Add(uint64(42), uint8(16), uint8(1), uint8(8))
+	f.Add(uint64(0xdead), uint8(4), uint8(2), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, bits uint8, channel uint8, slices uint8) {
+		nbits := int(bits%12) + 4
+		ch := []Channel{ChannelMemoryBus, ChannelIntegerDivider, ChannelSharedCache,
+			ChannelRingInterconnect, ChannelTLB}[channel%5]
+		sc := Scenario{
+			Channel:       ch,
+			BandwidthBPS:  1000,
+			Message:       RandomMessage(nbits, seed|1),
+			QuantumCycles: testQuantum,
+			Seed:          seed | 1,
+		}
+		if ch == ChannelSharedCache {
+			sc.CacheSets = 128
+			sc.Message = RandomMessage(nbits%8+2, seed|1)
+		}
+		want, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunSliced(int(slices%16)+2, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sliced output differs from serial run "+
+				"(seed=%d bits=%d channel=%v slices=%d)", seed, nbits, ch, int(slices%16)+2)
+		}
+	})
+}
